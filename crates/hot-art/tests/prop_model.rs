@@ -1,0 +1,66 @@
+//! Property tests: ART matches the ordered-map model for arbitrary
+//! operation sequences on both integer and string keys.
+
+use hot_art::Art;
+use hot_keys::{encode_u64, ArenaKeySource, EmbeddedKeySource};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn integer_ops_match_model(
+        ops in prop::collection::vec((0u64..5_000, 0u8..10), 1..500)
+    ) {
+        let mut art = Art::new(EmbeddedKeySource);
+        let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+        for (k, action) in ops {
+            if action < 6 {
+                prop_assert_eq!(art.insert(&encode_u64(k), k), model.insert(k, k));
+            } else if action < 9 {
+                prop_assert_eq!(art.remove(&encode_u64(k)), model.remove(&k));
+            } else {
+                let got = art.scan(&encode_u64(k), 10);
+                let want: Vec<u64> = model.range(k..).take(10).map(|(_, &v)| v).collect();
+                prop_assert_eq!(got, want);
+            }
+            prop_assert_eq!(art.len(), model.len());
+        }
+        art.validate();
+        prop_assert_eq!(
+            art.iter().collect::<Vec<_>>(),
+            model.values().copied().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn string_keys_with_deep_prefixes(
+        words in prop::collection::btree_set("[ab]{1,24}", 1..80),
+        probe in "[ab]{1,24}",
+    ) {
+        // Two-letter alphabet: long shared prefixes, chains longer than the
+        // inline prefix buffer.
+        let mut arena = ArenaKeySource::new();
+        let keys: Vec<Vec<u8>> = words
+            .iter()
+            .map(|w| hot_keys::str_key(w.as_bytes()).unwrap())
+            .collect();
+        let tids: Vec<u64> = keys.iter().map(|k| arena.push(k)).collect();
+        let mut art = Art::new(&arena);
+        let mut model: BTreeMap<Vec<u8>, u64> = BTreeMap::new();
+        for (k, &tid) in keys.iter().zip(&tids) {
+            art.insert(k, tid);
+            model.insert(k.clone(), tid);
+        }
+        art.validate();
+        for (k, &tid) in &model {
+            prop_assert_eq!(art.get(k), Some(tid));
+        }
+        let probe_key = hot_keys::str_key(probe.as_bytes()).unwrap();
+        prop_assert_eq!(art.get(&probe_key), model.get(&probe_key).copied());
+        let got: Vec<u64> = art.range_from(&probe_key).collect();
+        let want: Vec<u64> = model.range(probe_key..).map(|(_, &v)| v).collect();
+        prop_assert_eq!(got, want);
+    }
+}

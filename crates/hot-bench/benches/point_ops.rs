@@ -1,0 +1,73 @@
+//! Criterion micro-benchmarks for structure-level point operations:
+//! lookup, insert and short scans on all four index structures, for one
+//! dense-integer and one string data set (100 k keys).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use hot_bench::{all_indexes, BenchData};
+use hot_ycsb::{Dataset, DatasetKind};
+
+const N: usize = 100_000;
+
+fn bench_lookups(c: &mut Criterion) {
+    for kind in [DatasetKind::Integer, DatasetKind::Email] {
+        let data = BenchData::new(Dataset::generate(kind, N, 7));
+        let mut group = c.benchmark_group(format!("get_{}", kind.label()));
+        for mut index in all_indexes(&data.arena) {
+            for i in 0..N {
+                index.insert(&data.dataset.keys[i], data.tids[i]);
+            }
+            let name = index.name();
+            let mut i = 0usize;
+            group.bench_function(name, |b| {
+                b.iter(|| {
+                    i = (i.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407))
+                        % N;
+                    black_box(index.get(&data.dataset.keys[i]))
+                })
+            });
+        }
+        group.finish();
+    }
+}
+
+fn bench_inserts(c: &mut Criterion) {
+    for kind in [DatasetKind::Integer, DatasetKind::Email] {
+        let data = BenchData::new(Dataset::generate(kind, N, 8));
+        let mut group = c.benchmark_group(format!("insert_{}", kind.label()));
+        group.sample_size(10);
+        for mut index in all_indexes(&data.arena) {
+            let name = index.name();
+            group.bench_function(name, |b| {
+                b.iter(|| {
+                    for i in 0..N {
+                        index.insert(&data.dataset.keys[i], data.tids[i]);
+                    }
+                    index.memory().key_count
+                })
+            });
+        }
+        group.finish();
+    }
+}
+
+fn bench_scans(c: &mut Criterion) {
+    let data = BenchData::new(Dataset::generate(DatasetKind::Url, N, 9));
+    let mut group = c.benchmark_group("scan100_url");
+    for mut index in all_indexes(&data.arena) {
+        for i in 0..N {
+            index.insert(&data.dataset.keys[i], data.tids[i]);
+        }
+        let name = index.name();
+        let mut i = 0usize;
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                i = (i.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407)) % N;
+                black_box(index.scan(&data.dataset.keys[i], 100))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lookups, bench_inserts, bench_scans);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Ablation — what the hardware primitives buy (Section 4's design
+//! rationale): run the workload-C lookup benchmark for HOT with the
+//! BMI2/AVX2 paths enabled vs. forced to the portable scalar fallbacks
+//! (`HOT_FORCE_SCALAR=1`).
+//!
+//! Feature detection is cached process-wide, so the binary re-executes
+//! itself once with the environment variable set and compares.
+//!
+//! ```text
+//! cargo run --release -p hot-bench --bin ablation_simd -- --keys 500000 --ops 1000000
+//! ```
+
+use hot_bench::{row, run_load, run_transactions, BenchData, Config, HotIndex};
+use hot_ycsb::{Dataset, DatasetKind, RequestDistribution, Workload, WorkloadRun};
+use std::sync::Arc;
+
+fn main() {
+    let config = Config::from_args();
+    let forced = std::env::var_os("HOT_FORCE_SCALAR").is_some_and(|v| !v.is_empty());
+
+    if !forced {
+        println!(
+            "# SIMD ablation: HOT workload C + insert, hardware (PEXT/AVX2) vs scalar (keys={}, ops={})",
+            config.keys, config.ops
+        );
+        println!("# expected: the hardware paths win lookups clearly; scalar PEXT hurts extraction most on multi-mask (string) nodes");
+        row(&[
+            "mode".into(),
+            "dataset".into(),
+            "lookup_mops".into(),
+            "insert_mops".into(),
+        ]);
+    }
+    let mode = if forced { "scalar" } else { "simd" };
+
+    for kind in [DatasetKind::Integer, DatasetKind::Email, DatasetKind::Url] {
+        let data = BenchData::new(Dataset::generate(kind, config.keys, config.seed));
+        let mut index = HotIndex(hot_core::HotTrie::new(Arc::clone(&data.arena)));
+        let insert_mops = run_load(&mut index, &data, config.keys);
+        let run = WorkloadRun::new(
+            Workload::C,
+            RequestDistribution::Uniform,
+            config.keys,
+            config.ops,
+            config.seed,
+        );
+        let (lookup_mops, checksum) = run_transactions(&mut index, &data, &run);
+        row(&[
+            mode.into(),
+            kind.label().into(),
+            format!("{lookup_mops:.3}"),
+            format!("{insert_mops:.3}"),
+        ]);
+        std::hint::black_box(checksum);
+    }
+
+    if !forced {
+        // Re-run ourselves with the scalar fallbacks forced.
+        let exe = std::env::current_exe().expect("own path");
+        let status = std::process::Command::new(exe)
+            .args(std::env::args().skip(1))
+            .env("HOT_FORCE_SCALAR", "1")
+            .status()
+            .expect("spawn scalar run");
+        assert!(status.success(), "scalar run failed");
+    }
+}

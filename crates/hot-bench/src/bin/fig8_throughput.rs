@@ -1,0 +1,89 @@
+//! Figure 8 — single-threaded throughput (million operations / second) for
+//! the lookup-only workload C, the scan-heavy workload E and the insert-only
+//! load phase, over all four data sets and all four index structures.
+//!
+//! Paper shape (Section 6.2): HOT wins workload C on every data set (≥ 25%
+//! over the best competitor), wins workload E everywhere (up to 3× on url),
+//! and wins insert-only on all string data sets while ART leads on the
+//! integer data set (~1.5× over HOT).
+//!
+//! ```text
+//! cargo run --release -p hot-bench --bin fig8_throughput -- --keys 1000000 --ops 2000000
+//! ```
+
+use hot_bench::{all_indexes, row, run_load, run_transactions, BenchData, Config};
+use hot_ycsb::{Dataset, DatasetKind, RequestDistribution, Workload, WorkloadRun};
+
+fn main() {
+    let config = Config::from_args();
+    println!(
+        "# Figure 8: throughput in Mops (keys={}, ops={}, seed={}, uniform distribution)",
+        config.keys, config.ops, config.seed
+    );
+    println!("# paper_shape: HOT highest on C and E for all data sets; insert-only: HOT highest on strings, ART ~1.5x HOT on integer");
+    row(&[
+        "workload".into(),
+        "dataset".into(),
+        "structure".into(),
+        "mops".into(),
+    ]);
+
+    for kind in DatasetKind::ALL {
+        // Reserve insert keys for workload E.
+        let e_run = WorkloadRun::new(
+            Workload::E,
+            RequestDistribution::Uniform,
+            config.keys,
+            config.ops,
+            config.seed,
+        );
+        let data = BenchData::new(Dataset::generate(
+            kind,
+            config.keys + e_run.reserve_keys(),
+            config.seed,
+        ));
+
+        for mut index in all_indexes(&data.arena) {
+            // Insert-only = the load phase itself.
+            let load_mops = run_load(index.as_mut(), &data, config.keys);
+
+            // Workload C (100% lookup).
+            let c_run = WorkloadRun::new(
+                Workload::C,
+                RequestDistribution::Uniform,
+                config.keys,
+                config.ops,
+                config.seed,
+            );
+            let (c_mops, c_sum) = run_transactions(index.as_mut(), &data, &c_run);
+
+            // Workload E (95% scan / 5% insert).
+            let (e_mops, e_sum) = run_transactions(index.as_mut(), &data, &e_run);
+
+            row(&[
+                "C".into(),
+                kind.label().into(),
+                index.name().into(),
+                format!("{c_mops:.3}"),
+            ]);
+            row(&[
+                "E".into(),
+                kind.label().into(),
+                index.name().into(),
+                format!("{e_mops:.3}"),
+            ]);
+            row(&[
+                "insert".into(),
+                kind.label().into(),
+                index.name().into(),
+                format!("{load_mops:.3}"),
+            ]);
+            // Keep checksums observable so the compiler cannot drop work.
+            eprintln!(
+                "# {} {}: checksums C={c_sum:x} E={e_sum:x}",
+                kind.label(),
+                index.name()
+            );
+        }
+    }
+}

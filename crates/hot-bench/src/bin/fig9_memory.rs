@@ -1,0 +1,51 @@
+//! Figure 9 — memory consumption after the load phase, per data set and
+//! structure, plus the two reference lines of the figure: the minimum 8
+//! bytes/key of raw tuple identifiers and the raw size of the stored keys.
+//!
+//! Paper shape (Section 6.3): HOT smallest on every data set (11.4–14.4
+//! bytes/key, below the raw key size for both string sets); BT constant
+//! across data sets and ≥ 88% above HOT; Masstree grows the most for long
+//! keys (+230% from integer to url); ART in between (+51%).
+//!
+//! ```text
+//! cargo run --release -p hot-bench --bin fig9_memory -- --keys 1000000
+//! ```
+
+use hot_bench::{all_indexes, row, run_load, BenchData, Config};
+use hot_ycsb::{Dataset, DatasetKind};
+
+fn main() {
+    let config = Config::from_args();
+    println!(
+        "# Figure 9: index memory after loading {} keys (seed={})",
+        config.keys, config.seed
+    );
+    println!("# paper_shape: HOT smallest everywhere (11-15 B/key); BT constant across data sets (~88% above HOT); Masstree worst on url (+230% vs its integer footprint); ART +51%");
+    row(&[
+        "dataset".into(),
+        "structure".into(),
+        "total_MB".into(),
+        "bytes_per_key".into(),
+        "tid_floor_MB".into(),
+        "raw_keys_MB".into(),
+    ]);
+
+    let mb = |bytes: usize| bytes as f64 / 1e6;
+    for kind in DatasetKind::ALL {
+        let data = BenchData::new(Dataset::generate(kind, config.keys, config.seed));
+        let raw_keys = data.dataset.raw_key_bytes();
+        let tid_floor = config.keys * 8;
+        for mut index in all_indexes(&data.arena) {
+            run_load(index.as_mut(), &data, config.keys);
+            let stats = index.memory();
+            row(&[
+                kind.label().into(),
+                index.name().into(),
+                format!("{:.1}", mb(stats.total_bytes())),
+                format!("{:.2}", stats.bytes_per_key()),
+                format!("{:.1}", mb(tid_floor)),
+                format!("{:.1}", mb(raw_keys)),
+            ]);
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! Supplementary probe: bytes/key of HOT vs ART on the integer data set as
+//! the key count grows — shows ART's footprint rising toward (and past)
+//! HOT's as the uniform key space gets sparse at depth, which is where the
+//! paper's 50 M-key Figure 9 sits.
+//!
+//! ```text
+//! cargo run --release -p hot-bench --bin mem_scale -- --keys 5000000
+//! ```
+
+use hot_bench::{row, BenchData, Config};
+use hot_ycsb::{Dataset, DatasetKind};
+use std::sync::Arc;
+
+fn main() {
+    let config = Config::from_args();
+    println!("# bytes/key vs scale, integer data set (uniform 63-bit)");
+    row(&[
+        "keys".into(),
+        "HOT_bpk".into(),
+        "ART_bpk".into(),
+        "HOT_mean_depth".into(),
+        "ART_mean_depth".into(),
+    ]);
+    let mut n = 250_000usize;
+    while n <= config.keys {
+        let data = BenchData::new(Dataset::generate(DatasetKind::Integer, n, config.seed));
+        let mut hot = hot_core::HotTrie::new(Arc::clone(&data.arena));
+        let mut art = hot_art::Art::new(Arc::clone(&data.arena));
+        for i in 0..n {
+            hot.insert(&data.dataset.keys[i], data.tids[i]);
+            art.insert(&data.dataset.keys[i], data.tids[i]);
+        }
+        row(&[
+            n.to_string(),
+            format!("{:.2}", hot.memory_stats().bytes_per_key()),
+            format!("{:.2}", art.memory_stats().bytes_per_key()),
+            format!("{:.2}", hot.depth_stats().mean_depth()),
+            format!("{:.2}", art.depth_stats().mean_depth()),
+        ]);
+        n *= 4;
+    }
+}

@@ -1,0 +1,33 @@
+//! Ad-hoc insert-cost breakdown (not a paper figure).
+use hot_bench::BenchData;
+use hot_ycsb::{Dataset, DatasetKind};
+use std::sync::Arc;
+use std::time::Instant;
+
+fn main() {
+    let n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(400_000);
+    let data = BenchData::new(Dataset::generate(DatasetKind::Email, n, 42));
+    let dataset = &data.dataset;
+
+    // Full insert.
+    let mut trie = hot_core::HotTrie::new(Arc::clone(&data.arena));
+    let t = Instant::now();
+    for (i, key) in dataset.keys.iter().enumerate() {
+        trie.insert(key, data.tids[i]);
+    }
+    let insert_time = t.elapsed();
+
+    // Lookup for comparison.
+    let t = Instant::now();
+    let mut hits = 0u64;
+    for key in &dataset.keys {
+        if trie.get(key).is_some() { hits += 1; }
+    }
+    let get_time = t.elapsed();
+    println!("insert {:?} ({:.0} ns/op)  get {:?} ({:.0} ns/op) hits {hits}",
+        insert_time, insert_time.as_nanos() as f64 / n as f64,
+        get_time, get_time.as_nanos() as f64 / n as f64);
+    println!("nodes {} bytes/key {:.1}", trie.memory_stats().node_count, trie.memory_stats().bytes_per_key());
+
+}
+// phases printed by lib instrumentation

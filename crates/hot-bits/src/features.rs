@@ -1,0 +1,76 @@
+//! Runtime CPU feature detection, cached process-wide.
+//!
+//! The hot paths dispatch between hardware-accelerated (BMI2 `PEXT`/`PDEP`,
+//! AVX2 comparisons) and portable scalar implementations. Detection runs once
+//! and is cached in a static, so the per-call cost is a single predictable
+//! load-and-branch.
+
+use std::sync::OnceLock;
+
+/// Detected CPU features relevant to the HOT node primitives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Features {
+    /// BMI2 instruction set (`PEXT`, `PDEP`) is available.
+    pub bmi2: bool,
+    /// AVX2 256-bit integer SIMD is available.
+    pub avx2: bool,
+}
+
+impl Features {
+    /// Features with all hardware acceleration disabled (scalar paths only).
+    pub const SCALAR_ONLY: Features = Features {
+        bmi2: false,
+        avx2: false,
+    };
+}
+
+static FEATURES: OnceLock<Features> = OnceLock::new();
+
+/// Return the cached, process-wide CPU feature set.
+///
+/// Respects the `HOT_FORCE_SCALAR` environment variable (any non-empty
+/// value disables hardware acceleration), which the test suite uses to
+/// exercise the portable fallbacks on machines that do support BMI2/AVX2.
+#[inline]
+pub fn features() -> Features {
+    *FEATURES.get_or_init(detect)
+}
+
+fn detect() -> Features {
+    if std::env::var_os("HOT_FORCE_SCALAR").is_some_and(|v| !v.is_empty()) {
+        return Features::SCALAR_ONLY;
+    }
+    #[cfg(target_arch = "x86_64")]
+    {
+        Features {
+            bmi2: std::arch::is_x86_feature_detected!("bmi2"),
+            avx2: std::arch::is_x86_feature_detected!("avx2"),
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        Features::SCALAR_ONLY
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn features_are_cached_and_consistent() {
+        let a = features();
+        let b = features();
+        assert_eq!(a, b);
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn detection_matches_std_macros_unless_forced() {
+        if std::env::var_os("HOT_FORCE_SCALAR").is_none() {
+            let f = features();
+            assert_eq!(f.bmi2, std::arch::is_x86_feature_detected!("bmi2"));
+            assert_eq!(f.avx2, std::arch::is_x86_feature_detected!("avx2"));
+        }
+    }
+}

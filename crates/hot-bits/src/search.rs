@@ -1,0 +1,278 @@
+//! Data-parallel sparse-partial-key search (Section 4.3, Listing 2).
+//!
+//! Given a node's array of *sparse* partial keys and the *dense* partial key
+//! extracted from the search key, the result candidate is the entry with the
+//! **highest index** whose sparse partial key is a bit-subset of the dense
+//! key (`sparse & dense == sparse`). Entries are stored in trie (key) order
+//! and the leftmost entry's sparse partial key is always 0, so a match always
+//! exists.
+//!
+//! The AVX2 implementations mirror the paper's `searchPartialKeys*`
+//! primitives: one `VPAND` + `VPCMPEQ` + `VPMOVMSKB` sequence per 256-bit
+//! chunk, followed by a bit-scan-reverse over the used-entry mask.
+//!
+//! # Safety contract for the raw-pointer entry points
+//!
+//! The SIMD paths read full 256-bit vectors. Callers must guarantee that at
+//! least [`PADDED_BYTES_U8`] / [`PADDED_BYTES_U16`] / [`PADDED_BYTES_U32`]
+//! bytes are readable from the partial-key base pointer, even when fewer
+//! entries are used (HOT nodes reserve this padding inside the node
+//! allocation; the bytes beyond the used entries may hold arbitrary data —
+//! they are masked off before the bit scan).
+
+/// Bytes that must be readable from the base pointer for 8-bit partial keys.
+pub const PADDED_BYTES_U8: usize = 32;
+/// Bytes that must be readable from the base pointer for 16-bit partial keys.
+pub const PADDED_BYTES_U16: usize = 64;
+/// Bytes that must be readable from the base pointer for 32-bit partial keys.
+pub const PADDED_BYTES_U32: usize = 128;
+
+/// Maximum number of entries (= maximum node fanout `k`).
+pub const MAX_ENTRIES: usize = 32;
+
+#[inline(always)]
+fn used_mask(n: usize) -> u32 {
+    debug_assert!((1..=MAX_ENTRIES).contains(&n));
+    if n == MAX_ENTRIES {
+        u32::MAX
+    } else {
+        (1u32 << n) - 1
+    }
+}
+
+/// Portable search over 8-bit sparse partial keys (see module docs).
+#[inline]
+pub fn search_subset_u8_scalar(pkeys: &[u8], n: usize, dense: u8) -> usize {
+    debug_assert!(n <= pkeys.len());
+    for i in (0..n).rev() {
+        if pkeys[i] & dense == pkeys[i] {
+            return i;
+        }
+    }
+    0
+}
+
+/// Portable search over 16-bit sparse partial keys.
+#[inline]
+pub fn search_subset_u16_scalar(pkeys: &[u16], n: usize, dense: u16) -> usize {
+    debug_assert!(n <= pkeys.len());
+    for i in (0..n).rev() {
+        if pkeys[i] & dense == pkeys[i] {
+            return i;
+        }
+    }
+    0
+}
+
+/// Portable search over 32-bit sparse partial keys.
+#[inline]
+pub fn search_subset_u32_scalar(pkeys: &[u32], n: usize, dense: u32) -> usize {
+    debug_assert!(n <= pkeys.len());
+    for i in (0..n).rev() {
+        if pkeys[i] & dense == pkeys[i] {
+            return i;
+        }
+    }
+    0
+}
+
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    use core::arch::x86_64::*;
+
+    /// # Safety
+    /// AVX2 must be available and 32 bytes must be readable from `pkeys`.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn search_u8(pkeys: *const u8, n: usize, dense: u8) -> usize {
+        let v = _mm256_loadu_si256(pkeys as *const __m256i);
+        let d = _mm256_set1_epi8(dense as i8);
+        let selected = _mm256_and_si256(v, d);
+        let eq = _mm256_cmpeq_epi8(selected, v);
+        let mm = _mm256_movemask_epi8(eq) as u32;
+        let matches = mm & super::used_mask(n);
+        if matches == 0 {
+            return 0;
+        }
+        31 - matches.leading_zeros() as usize
+    }
+
+    /// # Safety
+    /// AVX2 must be available and 64 bytes must be readable from `pkeys`.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn search_u16(pkeys: *const u16, n: usize, dense: u16) -> usize {
+        let d = _mm256_set1_epi16(dense as i16);
+        let lo = _mm256_loadu_si256(pkeys as *const __m256i);
+        let hi = _mm256_loadu_si256((pkeys as *const __m256i).add(1));
+        let eq_lo = _mm256_cmpeq_epi16(_mm256_and_si256(lo, d), lo);
+        let eq_hi = _mm256_cmpeq_epi16(_mm256_and_si256(hi, d), hi);
+        // movemask_epi8 yields two identical bits per 16-bit lane.
+        let mm = (_mm256_movemask_epi8(eq_lo) as u32 as u64)
+            | ((_mm256_movemask_epi8(eq_hi) as u32 as u64) << 32);
+        let used = if n == 32 {
+            u64::MAX
+        } else {
+            (1u64 << (2 * n)) - 1
+        };
+        let matches = mm & used;
+        if matches == 0 {
+            return 0;
+        }
+        (63 - matches.leading_zeros() as usize) / 2
+    }
+
+    /// # Safety
+    /// AVX2 must be available and 128 bytes must be readable from `pkeys`.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn search_u32(pkeys: *const u32, n: usize, dense: u32) -> usize {
+        let d = _mm256_set1_epi32(dense as i32);
+        let mut matches = 0u32;
+        for chunk in 0..4 {
+            let v = _mm256_loadu_si256((pkeys as *const __m256i).add(chunk));
+            let eq = _mm256_cmpeq_epi32(_mm256_and_si256(v, d), v);
+            let mm = _mm256_movemask_ps(_mm256_castsi256_ps(eq)) as u32;
+            matches |= mm << (chunk * 8);
+        }
+        matches &= super::used_mask(n);
+        if matches == 0 {
+            return 0;
+        }
+        31 - matches.leading_zeros() as usize
+    }
+}
+
+/// Search 8-bit sparse partial keys for the highest-index subset match.
+///
+/// # Safety
+/// `n` must be in `1..=32` and [`PADDED_BYTES_U8`] bytes must be readable
+/// from `pkeys`.
+#[inline]
+pub unsafe fn search_subset_u8(pkeys: *const u8, n: usize, dense: u8) -> usize {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if crate::features().avx2 {
+            return avx2::search_u8(pkeys, n, dense);
+        }
+    }
+    search_subset_u8_scalar(core::slice::from_raw_parts(pkeys, n), n, dense)
+}
+
+/// Search 16-bit sparse partial keys for the highest-index subset match.
+///
+/// # Safety
+/// `n` must be in `1..=32` and [`PADDED_BYTES_U16`] bytes must be readable
+/// from `pkeys`. `pkeys` must be 2-byte aligned.
+#[inline]
+pub unsafe fn search_subset_u16(pkeys: *const u16, n: usize, dense: u16) -> usize {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if crate::features().avx2 {
+            return avx2::search_u16(pkeys, n, dense);
+        }
+    }
+    search_subset_u16_scalar(core::slice::from_raw_parts(pkeys, n), n, dense)
+}
+
+/// Search 32-bit sparse partial keys for the highest-index subset match.
+///
+/// # Safety
+/// `n` must be in `1..=32` and [`PADDED_BYTES_U32`] bytes must be readable
+/// from `pkeys`. `pkeys` must be 4-byte aligned.
+#[inline]
+pub unsafe fn search_subset_u32(pkeys: *const u32, n: usize, dense: u32) -> usize {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if crate::features().avx2 {
+            return avx2::search_u32(pkeys, n, dense);
+        }
+    }
+    search_subset_u32_scalar(core::slice::from_raw_parts(pkeys, n), n, dense)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn padded_u8(pkeys: &[u8]) -> [u8; 32] {
+        let mut buf = [0xAAu8; 32]; // garbage padding, must be masked off
+        buf[..pkeys.len()].copy_from_slice(pkeys);
+        buf
+    }
+
+    fn padded_u16(pkeys: &[u16]) -> [u16; 32] {
+        let mut buf = [0xAAAAu16; 32];
+        buf[..pkeys.len()].copy_from_slice(pkeys);
+        buf
+    }
+
+    fn padded_u32(pkeys: &[u32]) -> [u32; 32] {
+        let mut buf = [0xAAAA_AAAAu32; 32];
+        buf[..pkeys.len()].copy_from_slice(pkeys);
+        buf
+    }
+
+    #[test]
+    fn first_entry_always_matches() {
+        // Entry 0 has sparse key 0 in real nodes; an all-ones dense key must
+        // pick the highest entry, an all-zeros dense key entry 0.
+        let pkeys = padded_u8(&[0, 1, 2, 3]);
+        unsafe {
+            assert_eq!(search_subset_u8(pkeys.as_ptr(), 4, 0xFF), 3);
+            assert_eq!(search_subset_u8(pkeys.as_ptr(), 4, 0x00), 0);
+        }
+    }
+
+    #[test]
+    fn subset_semantics_u8() {
+        // sparse: 0b000, 0b001, 0b010, 0b110
+        let pkeys = padded_u8(&[0b000, 0b001, 0b010, 0b110]);
+        unsafe {
+            // dense 0b011 matches 0b000, 0b001, 0b010 -> highest is index 2
+            assert_eq!(search_subset_u8(pkeys.as_ptr(), 4, 0b011), 2);
+            // dense 0b111 matches all -> 3
+            assert_eq!(search_subset_u8(pkeys.as_ptr(), 4, 0b111), 3);
+            // dense 0b100 matches only 0b000 -> 0
+            assert_eq!(search_subset_u8(pkeys.as_ptr(), 4, 0b100), 0);
+        }
+    }
+
+    #[test]
+    fn padding_is_ignored() {
+        // Garbage in the padding area (0xAA = matches dense 0xAA) must never
+        // be selected because it is past `n`.
+        let pkeys = padded_u8(&[0x00, 0x02]);
+        unsafe {
+            assert_eq!(search_subset_u8(pkeys.as_ptr(), 2, 0xAA), 1);
+        }
+    }
+
+    #[test]
+    fn full_node_u8() {
+        let mut raw = [0u8; 32];
+        for (i, slot) in raw.iter_mut().enumerate() {
+            *slot = i as u8; // sparse key i for entry i
+        }
+        unsafe {
+            assert_eq!(search_subset_u8(raw.as_ptr(), 32, 0xFF), 31);
+            assert_eq!(search_subset_u8(raw.as_ptr(), 32, 0x1F), 31);
+            assert_eq!(search_subset_u8(raw.as_ptr(), 32, 0x10), 16);
+        }
+    }
+
+    #[test]
+    fn u16_and_u32_match_scalar_on_examples() {
+        let pkeys16 = padded_u16(&[0, 0x0001, 0x0100, 0x0101, 0x8000]);
+        let pkeys32 = padded_u32(&[0, 0x1, 0x0001_0000, 0x0001_0001, 0x8000_0000]);
+        for dense in [0u32, 1, 0x0101, 0x8000, 0xFFFF, 0x0001_0001, 0xFFFF_FFFF] {
+            unsafe {
+                assert_eq!(
+                    search_subset_u16(pkeys16.as_ptr(), 5, dense as u16),
+                    search_subset_u16_scalar(&pkeys16, 5, dense as u16),
+                );
+                assert_eq!(
+                    search_subset_u32(pkeys32.as_ptr(), 5, dense),
+                    search_subset_u32_scalar(&pkeys32, 5, dense),
+                );
+            }
+        }
+    }
+}

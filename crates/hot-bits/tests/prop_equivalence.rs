@@ -1,0 +1,96 @@
+//! Property tests: hardware-accelerated primitives are bit-for-bit
+//! equivalent to the portable scalar implementations, for arbitrary inputs.
+
+use hot_bits::pext::{pdep64_scalar, pext64_scalar};
+use hot_bits::search::{
+    search_subset_u16_scalar, search_subset_u32_scalar, search_subset_u8_scalar,
+};
+use hot_bits::{pdep64, pext64};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn pext_dispatch_equals_scalar(x in any::<u64>(), mask in any::<u64>()) {
+        prop_assert_eq!(pext64(x, mask), pext64_scalar(x, mask));
+    }
+
+    #[test]
+    fn pdep_dispatch_equals_scalar(x in any::<u64>(), mask in any::<u64>()) {
+        prop_assert_eq!(pdep64(x, mask), pdep64_scalar(x, mask));
+    }
+
+    #[test]
+    fn pext_then_pdep_recovers_masked_bits(x in any::<u64>(), mask in any::<u64>()) {
+        prop_assert_eq!(pdep64(pext64(x, mask), mask), x & mask);
+    }
+
+    #[test]
+    fn pdep_then_pext_is_identity_on_low_bits(x in any::<u64>(), mask in any::<u64>()) {
+        let width = mask.count_ones();
+        let low = if width == 64 { x } else { x & ((1u64 << width) - 1) };
+        prop_assert_eq!(pext64(pdep64(low, mask), mask), low);
+    }
+
+    #[test]
+    fn simd_search_u8_equals_scalar(
+        pkeys in prop::collection::vec(any::<u8>(), 1..=32),
+        dense in any::<u8>(),
+    ) {
+        let n = pkeys.len();
+        let mut padded = [0xCCu8; 32];
+        padded[..n].copy_from_slice(&pkeys);
+        let simd = unsafe { hot_bits::search_subset_u8(padded.as_ptr(), n, dense) };
+        prop_assert_eq!(simd, search_subset_u8_scalar(&pkeys, n, dense));
+    }
+
+    #[test]
+    fn simd_search_u16_equals_scalar(
+        pkeys in prop::collection::vec(any::<u16>(), 1..=32),
+        dense in any::<u16>(),
+    ) {
+        let n = pkeys.len();
+        let mut padded = [0xCCCCu16; 32];
+        padded[..n].copy_from_slice(&pkeys);
+        let simd = unsafe { hot_bits::search_subset_u16(padded.as_ptr(), n, dense) };
+        prop_assert_eq!(simd, search_subset_u16_scalar(&pkeys, n, dense));
+    }
+
+    #[test]
+    fn simd_search_u32_equals_scalar(
+        pkeys in prop::collection::vec(any::<u32>(), 1..=32),
+        dense in any::<u32>(),
+    ) {
+        let n = pkeys.len();
+        let mut padded = [0xCCCC_CCCCu32; 32];
+        padded[..n].copy_from_slice(&pkeys);
+        let simd = unsafe { hot_bits::search_subset_u32(padded.as_ptr(), n, dense) };
+        prop_assert_eq!(simd, search_subset_u32_scalar(&pkeys, n, dense));
+    }
+
+    #[test]
+    fn mismatch_bit_agrees_with_lexicographic_order(
+        a in prop::collection::vec(any::<u8>(), 0..40),
+        b in prop::collection::vec(any::<u8>(), 0..40),
+    ) {
+        match hot_bits::first_mismatch_bit(&a, &b) {
+            None => {
+                // Equal up to zero padding.
+                let max = a.len().max(b.len());
+                let pad = |v: &[u8]| {
+                    let mut p = v.to_vec();
+                    p.resize(max, 0);
+                    p
+                };
+                prop_assert_eq!(pad(&a), pad(&b));
+            }
+            Some(pos) => {
+                let (ba, bb) = (hot_bits::bit_at(&a, pos), hot_bits::bit_at(&b, pos));
+                prop_assert_ne!(ba, bb);
+                // All earlier positions agree.
+                for p in (0..pos).rev().take(64) {
+                    prop_assert_eq!(hot_bits::bit_at(&a, p), hot_bits::bit_at(&b, p));
+                }
+            }
+        }
+    }
+}

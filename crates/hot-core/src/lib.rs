@@ -1,0 +1,50 @@
+//! # HOT — Height Optimized Trie
+//!
+//! A from-scratch Rust implementation of the index structure of
+//! *Binna, Zangerle, Pichl, Specht, Leis: "HOT: A Height Optimized Trie
+//! Index for Main-Memory Database Systems" (SIGMOD 2018)*.
+//!
+//! The core idea: instead of a trie with a fixed span and data-dependent
+//! fanout, HOT fixes the **maximum fanout** `k = 32` and lets the **span**
+//! (the set of key bits each node inspects) adapt to the data. Every
+//! compound node embeds a binary Patricia trie of up to `k - 1` BiNodes,
+//! linearized into *sparse partial keys* that are searched with SIMD
+//! compares after a single `PEXT`-based extraction of the search key's
+//! discriminative bits. Structural adaptation on insert (normal insert,
+//! leaf-node pushdown, parent pull-up, intermediate node creation) keeps the
+//! overall height minimal: like a B-tree, the height only grows when a new
+//! root is created.
+//!
+//! ## Entry points
+//!
+//! * [`HotTrie`] — the single-threaded index mapping prefix-free byte keys
+//!   to tuple identifiers, with the key bytes resolved back through a
+//!   [`KeySource`](hot_keys::KeySource);
+//! * [`sync::ConcurrentHot`] — the ROWEX-synchronized variant of Section 5:
+//!   wait-free readers, lock-only-what-you-modify writers, epoch-based
+//!   memory reclamation;
+//! * [`HotMap`] — a convenience ordered map that owns its keys and values.
+//!
+//! ```
+//! use hot_core::HotTrie;
+//! use hot_keys::{encode_u64, EmbeddedKeySource};
+//!
+//! let mut trie = HotTrie::new(EmbeddedKeySource);
+//! for v in [42u64, 7, 13_000_000] {
+//!     trie.insert(&encode_u64(v), v);
+//! }
+//! assert_eq!(trie.get(&encode_u64(7)), Some(7));
+//! let in_order: Vec<u64> = trie.iter().collect();
+//! assert_eq!(in_order, vec![7, 42, 13_000_000]);
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod map;
+pub mod node;
+pub mod sync;
+pub mod trie;
+
+pub use map::HotMap;
+pub use node::{MemCounter, NodeRef, NodeTag, MAX_FANOUT};
+pub use trie::HotTrie;

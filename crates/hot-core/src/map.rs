@@ -1,0 +1,296 @@
+//! A self-contained ordered map on top of [`HotTrie`].
+//!
+//! [`HotMap`] owns its keys and values in heap-allocated leaf records and
+//! uses the record addresses as TIDs — the same trick a main-memory DBMS
+//! plays when the "tuple" is the record itself. This gives HOT the API shape
+//! of `BTreeMap<Vec<u8>, V>` while keeping the index itself key-free.
+
+use crate::trie::HotTrie;
+use hot_keys::stats::MemoryStats;
+use hot_keys::{DepthStats, KeySource, KEY_SCRATCH_LEN};
+
+/// One owned leaf record: the key bytes plus the value.
+struct Record<V> {
+    key: Box<[u8]>,
+    value: V,
+}
+
+/// Key source that interprets TIDs as `Record` addresses.
+///
+/// Records are boxed and never move while referenced by the trie, so the
+/// derefs are sound as long as the map only hands out TIDs of live records —
+/// which [`HotMap`] guarantees by removing a key from the trie before
+/// dropping its record.
+struct RecordSource<V> {
+    _marker: std::marker::PhantomData<fn() -> V>,
+}
+
+// SAFETY: resolving a record address is position-independent and the map's
+// synchronization story is inherited from &HotMap/&mut HotMap.
+unsafe impl<V> Sync for RecordSource<V> {}
+
+impl<V> KeySource for RecordSource<V> {
+    #[inline]
+    fn load_key<'a>(&'a self, tid: u64, _scratch: &'a mut [u8; KEY_SCRATCH_LEN]) -> &'a [u8] {
+        // SAFETY: tids handed to the trie are addresses of live boxed
+        // records owned by the map (see HotMap::insert/remove).
+        let record = unsafe { &*(tid as *const Record<V>) };
+        &record.key
+    }
+}
+
+/// An ordered map from byte-string keys to values `V`, indexed by a Height
+/// Optimized Trie.
+///
+/// Keys must be prefix-free as a set (no key may be a strict prefix of
+/// another); use the encoders in [`hot_keys::encode`]. Keys are limited to
+/// [`MAX_KEY_LEN`](hot_keys::MAX_KEY_LEN) bytes.
+///
+/// ```
+/// let mut map = hot_core::HotMap::new();
+/// map.insert(&hot_keys::str_key(b"hot").unwrap(), "height optimized trie");
+/// map.insert(&hot_keys::str_key(b"art").unwrap(), "adaptive radix tree");
+/// assert_eq!(map.get(&hot_keys::str_key(b"hot").unwrap()), Some(&"height optimized trie"));
+/// assert_eq!(map.len(), 2);
+/// ```
+pub struct HotMap<V> {
+    trie: HotTrie<RecordSource<V>>,
+    record_bytes: usize,
+}
+
+impl<V> Default for HotMap<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V> HotMap<V> {
+    /// Create an empty map.
+    pub fn new() -> Self {
+        HotMap {
+            trie: HotTrie::new(RecordSource {
+                _marker: std::marker::PhantomData,
+            }),
+            record_bytes: 0,
+        }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.trie.len()
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.trie.is_empty()
+    }
+
+    fn record_footprint(key_len: usize) -> usize {
+        std::mem::size_of::<Record<V>>() + key_len
+    }
+
+    /// Insert `key → value`; returns the previous value if present.
+    pub fn insert(&mut self, key: &[u8], value: V) -> Option<V> {
+        let record = Box::new(Record {
+            key: key.to_vec().into_boxed_slice(),
+            value,
+        });
+        let tid = Box::into_raw(record) as u64;
+        debug_assert_eq!(tid >> 63, 0, "heap addresses fit in 63 bits");
+        match self.trie.insert(key, tid) {
+            None => {
+                self.record_bytes += Self::record_footprint(key.len());
+                None
+            }
+            Some(old_tid) => {
+                // SAFETY: old_tid was created by Box::into_raw above in a
+                // previous insert and is no longer referenced by the trie.
+                let old = unsafe { Box::from_raw(old_tid as *mut Record<V>) };
+                Some(old.value)
+            }
+        }
+    }
+
+    /// Get a reference to the value stored under `key`.
+    pub fn get(&self, key: &[u8]) -> Option<&V> {
+        let tid = self.trie.get(key)?;
+        // SAFETY: the trie only holds TIDs of live records owned by self.
+        Some(unsafe { &(*(tid as *const Record<V>)).value })
+    }
+
+    /// Get a mutable reference to the value stored under `key`.
+    pub fn get_mut(&mut self, key: &[u8]) -> Option<&mut V> {
+        let tid = self.trie.get(key)?;
+        // SAFETY: as in `get`, plus &mut self guarantees exclusivity.
+        Some(unsafe { &mut (*(tid as *mut Record<V>)).value })
+    }
+
+    /// Whether `key` is present.
+    pub fn contains_key(&self, key: &[u8]) -> bool {
+        self.trie.contains(key)
+    }
+
+    /// Remove `key`, returning its value if present.
+    pub fn remove(&mut self, key: &[u8]) -> Option<V> {
+        let tid = self.trie.remove(key)?;
+        self.record_bytes -= Self::record_footprint(key.len());
+        // SAFETY: the trie no longer references the record.
+        let record = unsafe { Box::from_raw(tid as *mut Record<V>) };
+        Some(record.value)
+    }
+
+    /// Iterate `(key, value)` pairs in ascending key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&[u8], &V)> + '_ {
+        self.trie.iter().map(|tid| {
+            // SAFETY: live record owned by self.
+            let record = unsafe { &*(tid as *const Record<V>) };
+            (&record.key[..], &record.value)
+        })
+    }
+
+    /// Iterate `(key, value)` pairs with keys `>= key`, ascending.
+    pub fn range_from<'a>(&'a self, key: &[u8]) -> impl Iterator<Item = (&'a [u8], &'a V)> + 'a {
+        self.trie.range_from(key).map(|tid| {
+            // SAFETY: live record owned by self.
+            let record = unsafe { &*(tid as *const Record<V>) };
+            (&record.key[..], &record.value)
+        })
+    }
+
+    /// Iterate `(key, value)` pairs with `start <= key < end`, ascending.
+    pub fn range<'a>(
+        &'a self,
+        start: &[u8],
+        end: &'a [u8],
+    ) -> impl Iterator<Item = (&'a [u8], &'a V)> + 'a {
+        self.range_from(start).take_while(move |(k, _)| *k < end)
+    }
+
+    /// Index + record memory footprint.
+    pub fn memory_stats(&self) -> MemoryStats {
+        let mut stats = self.trie.memory_stats();
+        stats.aux_bytes = self.record_bytes;
+        stats
+    }
+
+    /// Leaf-depth histogram of the underlying trie.
+    pub fn depth_stats(&self) -> DepthStats {
+        self.trie.depth_stats()
+    }
+
+    /// Structural invariant check (test support).
+    pub fn validate(&self) {
+        self.trie.validate();
+    }
+}
+
+impl<V> Drop for HotMap<V> {
+    fn drop(&mut self) {
+        for tid in self.trie.iter() {
+            // SAFETY: dropping the map; every record is owned and dropped
+            // exactly once (trie iteration yields each TID once).
+            unsafe { drop(Box::from_raw(tid as *mut Record<V>)) };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hot_keys::{encode_u64, str_key};
+
+    #[test]
+    fn insert_get_remove() {
+        let mut map = HotMap::new();
+        assert!(map.is_empty());
+        assert_eq!(map.insert(b"alpha\0", 1), None);
+        assert_eq!(map.insert(b"beta\0", 2), None);
+        assert_eq!(map.insert(b"alpha\0", 10), Some(1));
+        assert_eq!(map.len(), 2);
+        assert_eq!(map.get(b"alpha\0"), Some(&10));
+        assert_eq!(map.get(b"beta\0"), Some(&2));
+        assert_eq!(map.get(b"gamma\0"), None);
+        assert_eq!(map.remove(b"alpha\0"), Some(10));
+        assert_eq!(map.remove(b"alpha\0"), None);
+        assert_eq!(map.len(), 1);
+    }
+
+    #[test]
+    fn get_mut_updates_in_place() {
+        let mut map = HotMap::new();
+        map.insert(b"counter\0", 0u64);
+        *map.get_mut(b"counter\0").unwrap() += 41;
+        *map.get_mut(b"counter\0").unwrap() += 1;
+        assert_eq!(map.get(b"counter\0"), Some(&42));
+    }
+
+    #[test]
+    fn ordered_iteration_and_range() {
+        let mut map = HotMap::new();
+        let words = ["pear", "apple", "orange", "banana", "plum"];
+        for (i, w) in words.iter().enumerate() {
+            map.insert(&str_key(w.as_bytes()).unwrap(), i);
+        }
+        let keys: Vec<Vec<u8>> = map.iter().map(|(k, _)| k.to_vec()).collect();
+        let mut sorted: Vec<Vec<u8>> = words
+            .iter()
+            .map(|w| str_key(w.as_bytes()).unwrap())
+            .collect();
+        sorted.sort();
+        assert_eq!(keys, sorted);
+
+        let from_b: Vec<&str> = map
+            .range_from(&str_key(b"banana").unwrap())
+            .map(|(k, _)| std::str::from_utf8(&k[..k.len() - 1]).unwrap())
+            .collect();
+        assert_eq!(from_b, vec!["banana", "orange", "pear", "plum"]);
+    }
+
+    #[test]
+    fn values_are_dropped_exactly_once() {
+        use std::rc::Rc;
+        let probe = Rc::new(());
+        {
+            let mut map = HotMap::new();
+            for i in 0u64..100 {
+                map.insert(&encode_u64(i), Rc::clone(&probe));
+            }
+            for i in 0u64..50 {
+                map.remove(&encode_u64(i));
+            }
+            assert_eq!(Rc::strong_count(&probe), 51);
+        }
+        assert_eq!(Rc::strong_count(&probe), 1);
+    }
+
+    #[test]
+    fn memory_stats_track_records() {
+        let mut map = HotMap::new();
+        for i in 0u64..100 {
+            map.insert(&encode_u64(i), i);
+        }
+        let stats = map.memory_stats();
+        assert_eq!(stats.key_count, 100);
+        assert!(stats.aux_bytes >= 100 * 8);
+        assert!(stats.node_bytes > 0);
+        let aux_before = stats.aux_bytes;
+        let mut map = map;
+        for i in 0u64..100 {
+            map.remove(&encode_u64(i));
+        }
+        let stats = map.memory_stats();
+        assert_eq!(stats.aux_bytes, 0);
+        assert!(stats.aux_bytes < aux_before);
+        assert_eq!(stats.node_bytes, 0);
+    }
+
+    #[test]
+    fn thousand_integers_validate() {
+        let mut map = HotMap::new();
+        for i in 0u64..1000 {
+            map.insert(&encode_u64(i.wrapping_mul(0x9E37_79B9_7F4A_7C15)), i);
+        }
+        assert_eq!(map.len(), 1000);
+        map.validate();
+    }
+}

@@ -1,0 +1,1381 @@
+//! Physical node representation (Section 4 of the paper).
+//!
+//! A HOT compound node linearizes a k-constrained binary Patricia trie into
+//! one exact-size heap allocation holding four sections:
+//!
+//! ```text
+//! ┌────────┬───────────────┬──────────────┬────────┐
+//! │ header │ bit positions │ partial keys │ values │
+//! └────────┴───────────────┴──────────────┴────────┘
+//! ```
+//!
+//! * **header** — versioned lock word (used by the concurrent index), subtree
+//!   height, entry count;
+//! * **bit positions** — either a *single mask* (8-bit byte offset + 64-bit
+//!   extraction mask over one 8-byte key window) or a *multi mask* (8, 16 or
+//!   32 pairs of byte offset + 8-bit mask);
+//! * **partial keys** — `n` *sparse partial keys* of 8, 16 or 32 bits;
+//! * **values** — `n` 64-bit words: child pointers or tagged leaf TIDs.
+//!
+//! The 9 valid (mask representation × partial-key width) combinations are
+//! the paper's 9 node layouts ([`NodeTag`]). The node type is encoded in the
+//! low 5 bits of each (32-byte-aligned) node pointer so the type dispatch
+//! overlaps the prefetch of the node body (Section 4.5).
+
+pub mod builder;
+
+use std::alloc::{alloc_zeroed, dealloc, Layout};
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
+
+use hot_bits::search::{PADDED_BYTES_U16, PADDED_BYTES_U32, PADDED_BYTES_U8};
+use hot_keys::KEY_PAD_LEN;
+
+/// Maximum compound-node fanout `k` (Section 4.1: "set the maximum fanout k
+/// to 32, which is large enough to benefit from CPU caches and small enough
+/// to support fast updates").
+pub const MAX_FANOUT: usize = 32;
+
+/// Maximum number of discriminative bit positions per node (`k - 1` BiNodes
+/// always suffice to separate `k` keys).
+pub const MAX_POSITIONS: usize = MAX_FANOUT - 1;
+
+const LEAF_BIT: u64 = 1 << 63;
+const TAG_MASK: u64 = 0x1F;
+const HEADER_BYTES: usize = 8;
+const NODE_ALIGN: usize = 32;
+
+/// The nine physical node layouts of Figure 6: four bit-position
+/// representations crossed with three partial-key widths, restricted to the
+/// combinations that can actually occur (9–16 distinct key bytes imply at
+/// least 9 discriminative bits, hence ≥ 16-bit partial keys, and so on).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum NodeTag {
+    /// Single 64-bit mask, 8-bit partial keys.
+    Single8 = 0,
+    /// Single 64-bit mask, 16-bit partial keys.
+    Single16 = 1,
+    /// Single 64-bit mask, 32-bit partial keys.
+    Single32 = 2,
+    /// 8 offset/mask pairs, 8-bit partial keys.
+    Multi8x8 = 3,
+    /// 8 offset/mask pairs, 16-bit partial keys.
+    Multi8x16 = 4,
+    /// 8 offset/mask pairs, 32-bit partial keys.
+    Multi8x32 = 5,
+    /// 16 offset/mask pairs, 16-bit partial keys.
+    Multi16x16 = 6,
+    /// 16 offset/mask pairs, 32-bit partial keys.
+    Multi16x32 = 7,
+    /// 32 offset/mask pairs, 32-bit partial keys.
+    Multi32x32 = 8,
+}
+
+/// Bit-position representation kind (first adaptivity dimension).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MaskKind {
+    /// One byte offset + one 64-bit mask over an 8-byte window.
+    Single,
+    /// `n` byte offsets, each with an 8-bit mask.
+    Multi(usize),
+}
+
+impl NodeTag {
+    /// All nine layouts, for exhaustive tests.
+    pub const ALL: [NodeTag; 9] = [
+        NodeTag::Single8,
+        NodeTag::Single16,
+        NodeTag::Single32,
+        NodeTag::Multi8x8,
+        NodeTag::Multi8x16,
+        NodeTag::Multi8x32,
+        NodeTag::Multi16x16,
+        NodeTag::Multi16x32,
+        NodeTag::Multi32x32,
+    ];
+
+    #[inline]
+    pub(crate) fn from_u8(v: u8) -> NodeTag {
+        debug_assert!(v <= 8);
+        // SAFETY: NodeTag is repr(u8) with contiguous discriminants 0..=8
+        // and every stored tag was produced from a NodeTag.
+        unsafe { std::mem::transmute::<u8, NodeTag>(v) }
+    }
+
+    /// Partial-key width in bytes (1, 2 or 4).
+    #[inline]
+    pub fn key_width(self) -> usize {
+        match self {
+            NodeTag::Single8 | NodeTag::Multi8x8 => 1,
+            NodeTag::Single16 | NodeTag::Multi8x16 | NodeTag::Multi16x16 => 2,
+            NodeTag::Single32
+            | NodeTag::Multi8x32
+            | NodeTag::Multi16x32
+            | NodeTag::Multi32x32 => 4,
+        }
+    }
+
+    /// Bit-position representation.
+    #[inline]
+    pub fn mask_kind(self) -> MaskKind {
+        match self {
+            NodeTag::Single8 | NodeTag::Single16 | NodeTag::Single32 => MaskKind::Single,
+            NodeTag::Multi8x8 | NodeTag::Multi8x16 | NodeTag::Multi8x32 => MaskKind::Multi(8),
+            NodeTag::Multi16x16 | NodeTag::Multi16x32 => MaskKind::Multi(16),
+            NodeTag::Multi32x32 => MaskKind::Multi(32),
+        }
+    }
+
+    /// Choose the smallest layout able to represent `positions` (sorted
+    /// ascending key-bit positions).
+    pub fn choose(positions: &[u16]) -> NodeTag {
+        debug_assert!(!positions.is_empty() && positions.len() <= MAX_POSITIONS);
+        let bits = positions.len();
+        let min_byte = positions[0] / 8;
+        let max_byte = positions[positions.len() - 1] / 8;
+        let single = max_byte - min_byte < 8;
+        let distinct_bytes = {
+            let mut count = 0usize;
+            let mut last = u16::MAX;
+            for &p in positions {
+                if p / 8 != last {
+                    count += 1;
+                    last = p / 8;
+                }
+            }
+            count
+        };
+        match (single, distinct_bytes, bits) {
+            (true, _, b) if b <= 8 => NodeTag::Single8,
+            (true, _, b) if b <= 16 => NodeTag::Single16,
+            (true, _, _) => NodeTag::Single32,
+            (false, d, b) if d <= 8 && b <= 8 => NodeTag::Multi8x8,
+            (false, d, b) if d <= 8 && b <= 16 => NodeTag::Multi8x16,
+            (false, d, _) if d <= 8 => NodeTag::Multi8x32,
+            (false, d, b) if d <= 16 && b <= 16 => NodeTag::Multi16x16,
+            (false, d, _) if d <= 16 => NodeTag::Multi16x32,
+            _ => NodeTag::Multi32x32,
+        }
+    }
+
+    fn mask_section_bytes(self) -> usize {
+        match self.mask_kind() {
+            MaskKind::Single => 16,               // u8 offset + pad + u64 mask
+            MaskKind::Multi(n) => n + n,          // n offsets + n mask bytes
+        }
+    }
+
+    fn simd_padding(self) -> usize {
+        match self.key_width() {
+            1 => PADDED_BYTES_U8,
+            2 => PADDED_BYTES_U16,
+            _ => PADDED_BYTES_U32,
+        }
+    }
+}
+
+/// Byte offsets of the node sections and the total allocation size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct NodeGeometry {
+    pub pkeys_offset: usize,
+    pub values_offset: usize,
+    pub alloc_size: usize,
+}
+
+pub(crate) fn geometry(tag: NodeTag, count: usize) -> NodeGeometry {
+    debug_assert!((2..=MAX_FANOUT).contains(&count));
+    let pkeys_offset = HEADER_BYTES + tag.mask_section_bytes();
+    let pkeys_end = pkeys_offset + count * tag.key_width();
+    let values_offset = (pkeys_end + 7) & !7;
+    let logical_end = values_offset + count * 8;
+    // The SIMD search reads full vectors from the partial-key base; make
+    // sure those reads stay inside the allocation (the values section
+    // usually covers it already).
+    let simd_end = pkeys_offset + tag.simd_padding();
+    let alloc_size = (logical_end.max(simd_end) + (NODE_ALIGN - 1)) & !(NODE_ALIGN - 1);
+    NodeGeometry {
+        pkeys_offset,
+        values_offset,
+        alloc_size,
+    }
+}
+
+// ---- node allocator ---------------------------------------------------------
+//
+// Copy-on-write makes node allocation/free the hottest allocator traffic in
+// the system, always in 32-byte-granular sizes between 64 and ~1.5 KiB. A
+// small per-thread free list recycles blocks per size class: it avoids the
+// general allocator on the hot path and — more importantly — hands back
+// recently-freed, cache-warm blocks.
+
+const SIZE_CLASS: usize = NODE_ALIGN; // 32-byte granularity
+const NUM_CLASSES: usize = 48; // up to 1536-byte nodes
+const PER_CLASS_CAP: usize = 64;
+
+struct FreeLists {
+    classes: [Vec<*mut u8>; NUM_CLASSES],
+}
+
+impl FreeLists {
+    fn new() -> FreeLists {
+        FreeLists {
+            classes: std::array::from_fn(|_| Vec::new()),
+        }
+    }
+}
+
+impl Drop for FreeLists {
+    fn drop(&mut self) {
+        for (class, list) in self.classes.iter_mut().enumerate() {
+            let size = class * SIZE_CLASS;
+            for &ptr in list.iter() {
+                // SAFETY: every cached block was allocated with exactly this
+                // (size, align) layout and is owned by the list.
+                unsafe {
+                    dealloc(
+                        ptr,
+                        Layout::from_size_align(size, NODE_ALIGN).expect("cached layout"),
+                    )
+                };
+            }
+            list.clear();
+        }
+    }
+}
+
+thread_local! {
+    static FREE_LISTS: RefCell<FreeLists> = RefCell::new(FreeLists::new());
+}
+
+/// Allocate a node-sized block (multiple of 32, 32-aligned) with the first
+/// header word zeroed.
+fn alloc_block(size: usize) -> *mut u8 {
+    debug_assert_eq!(size % SIZE_CLASS, 0);
+    let class = size / SIZE_CLASS;
+    if class < NUM_CLASSES {
+        // try_with: thread-local storage may already be torn down when
+        // epoch-deferred work runs during thread exit.
+        if let Some(ptr) =
+            FREE_LISTS.try_with(|fl| fl.borrow_mut().classes[class].pop()).ok().flatten()
+        {
+            // Recycled blocks contain stale bytes; the header (lock word,
+            // height, count) must start clean — everything else is fully
+            // overwritten by `fill` or masked off by the used-entry count.
+            // SAFETY: block is `size` bytes, 8-aligned.
+            unsafe { *(ptr as *mut u64) = 0 };
+            return ptr;
+        }
+    }
+    let layout = Layout::from_size_align(size, NODE_ALIGN).expect("node layout");
+    // SAFETY: non-zero size.
+    let ptr = unsafe { alloc_zeroed(layout) };
+    assert!(!ptr.is_null(), "node allocation failed");
+    ptr
+}
+
+/// Return a node-sized block to the per-thread cache (or the allocator).
+///
+/// # Safety
+/// `ptr` must come from [`alloc_block`] with the same `size` and must not be
+/// referenced anymore.
+unsafe fn free_block(ptr: *mut u8, size: usize) {
+    let class = size / SIZE_CLASS;
+    if class < NUM_CLASSES {
+        // try_with: see alloc_block — deferred frees may run at thread exit.
+        let cached = FREE_LISTS
+            .try_with(|fl| {
+                let mut fl = fl.borrow_mut();
+                if fl.classes[class].len() < PER_CLASS_CAP {
+                    fl.classes[class].push(ptr);
+                    true
+                } else {
+                    false
+                }
+            })
+            .unwrap_or(false);
+        if cached {
+            return;
+        }
+    }
+    dealloc(ptr, Layout::from_size_align(size, NODE_ALIGN).expect("node layout"));
+}
+
+/// Free a node for benchmarking purposes only.
+///
+/// # Safety
+/// `r` must be an unpublished node reference created by `Builder::encode`.
+#[doc(hidden)]
+pub unsafe fn free_for_bench(r: NodeRef, mem: &MemCounter) {
+    r.as_raw().free(mem);
+}
+
+/// Allocation accounting shared by a tree instance (Figure 9's
+/// "custom code to compute the memory consumption").
+#[derive(Debug, Default)]
+pub struct MemCounter {
+    bytes: AtomicUsize,
+    nodes: AtomicUsize,
+}
+
+impl MemCounter {
+    /// Current live node bytes.
+    pub fn bytes(&self) -> usize {
+        self.bytes.load(Ordering::Relaxed)
+    }
+
+    /// Current live node count.
+    pub fn nodes(&self) -> usize {
+        self.nodes.load(Ordering::Relaxed)
+    }
+
+    fn on_alloc(&self, size: usize) {
+        self.bytes.fetch_add(size, Ordering::Relaxed);
+        self.nodes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn on_free(&self, size: usize) {
+        self.bytes.fetch_sub(size, Ordering::Relaxed);
+        self.nodes.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// A tagged 64-bit tree word: null, leaf TID (bit 63 set) or node pointer
+/// with the [`NodeTag`] in the low 5 bits (Section 4.2: "we distinguish
+/// between a pointer and a tuple identifier using the most-significant bit";
+/// Section 4.5: "we encode the node type within the least-significant bits
+/// of each node pointer").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeRef(pub u64);
+
+impl NodeRef {
+    /// The null reference (empty tree).
+    pub const NULL: NodeRef = NodeRef(0);
+
+    /// Tag a tuple identifier as a leaf word.
+    #[inline]
+    pub fn leaf(tid: u64) -> NodeRef {
+        debug_assert!(tid & LEAF_BIT == 0, "tid must fit in 63 bits");
+        NodeRef(tid | LEAF_BIT)
+    }
+
+    #[inline]
+    pub(crate) fn node(ptr: *mut u8, tag: NodeTag) -> NodeRef {
+        debug_assert_eq!(ptr as u64 & TAG_MASK, 0, "node pointers are 32-byte aligned");
+        NodeRef(ptr as u64 | tag as u64)
+    }
+
+    /// Is this the null reference?
+    #[inline]
+    pub fn is_null(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Is this a leaf TID?
+    #[inline]
+    pub fn is_leaf(self) -> bool {
+        self.0 & LEAF_BIT != 0
+    }
+
+    /// Is this a compound-node pointer?
+    #[inline]
+    pub fn is_node(self) -> bool {
+        !self.is_leaf() && !self.is_null()
+    }
+
+    /// The tuple identifier of a leaf word.
+    #[inline]
+    pub fn tid(self) -> u64 {
+        debug_assert!(self.is_leaf());
+        self.0 & !LEAF_BIT
+    }
+
+    #[inline]
+    pub(crate) fn tag(self) -> NodeTag {
+        debug_assert!(self.is_node());
+        NodeTag::from_u8((self.0 & TAG_MASK) as u8)
+    }
+
+    #[inline]
+    pub(crate) fn ptr(self) -> *mut u8 {
+        debug_assert!(self.is_node());
+        (self.0 & !TAG_MASK) as *mut u8
+    }
+
+    /// View as a raw node. Caller must know this is a node reference.
+    #[inline]
+    pub(crate) fn as_raw(self) -> RawNode {
+        debug_assert!(self.is_node());
+        RawNode {
+            base: self.ptr(),
+            tag: self.tag(),
+        }
+    }
+}
+
+/// Typed view over one node allocation.
+#[derive(Clone, Copy)]
+pub(crate) struct RawNode {
+    pub base: *mut u8,
+    pub tag: NodeTag,
+}
+
+impl RawNode {
+    /// Allocate a node with a clean header for the given entry count and
+    /// height. Mask, partial-key and value sections must be fully written by
+    /// `fill` before the node is published.
+    pub fn alloc(tag: NodeTag, count: usize, height: u8, mem: &MemCounter) -> RawNode {
+        let geo = geometry(tag, count);
+        let base = alloc_block(geo.alloc_size);
+        mem.on_alloc(geo.alloc_size);
+        let node = RawNode { base, tag };
+        // SAFETY: freshly allocated, exclusively owned.
+        unsafe {
+            *node.count_ptr() = count as u8;
+            *node.height_ptr() = height;
+        }
+        node
+    }
+
+    /// Free this node. Caller must guarantee no other references exist (or,
+    /// in the concurrent index, that the epoch guarantees it).
+    pub unsafe fn free(self, mem: &MemCounter) {
+        let geo = geometry(self.tag, self.count());
+        mem.on_free(geo.alloc_size);
+        free_block(self.base, geo.alloc_size);
+    }
+
+    /// Size of this node's allocation in bytes.
+    #[allow(dead_code)] // used by the concurrent index
+    pub fn alloc_size(self) -> usize {
+        geometry(self.tag, self.count()).alloc_size
+    }
+
+    #[inline]
+    fn count_ptr(self) -> *mut u8 {
+        // Header layout: [lock: u32][height: u8][count: u8][pad: u16]
+        // SAFETY: within the 8-byte header.
+        unsafe { self.base.add(5) }
+    }
+
+    #[inline]
+    fn height_ptr(self) -> *mut u8 {
+        // SAFETY: within the 8-byte header.
+        unsafe { self.base.add(4) }
+    }
+
+    /// The versioned lock word (used only by the concurrent index).
+    #[allow(dead_code)] // used by the concurrent index
+    #[inline]
+    pub fn lock_word(self) -> &'static AtomicU32 {
+        // SAFETY: the first 4 bytes of the header are the lock word, aligned
+        // to 4 (node base is 32-byte aligned). Lifetime is managed by the
+        // epoch scheme; callers never hold the reference past the node.
+        unsafe { &*(self.base as *const AtomicU32) }
+    }
+
+    /// Number of entries (2..=32).
+    #[inline]
+    pub fn count(self) -> usize {
+        // SAFETY: header is always initialized.
+        unsafe { *self.count_ptr() as usize }
+    }
+
+    /// Compound-subtree height (1 = all entries are leaves).
+    #[inline]
+    pub fn height(self) -> u8 {
+        // SAFETY: header is always initialized.
+        unsafe { *self.height_ptr() }
+    }
+
+    #[allow(dead_code)] // used by the concurrent index
+    #[inline]
+    pub fn set_height(self, h: u8) {
+        // SAFETY: header is always initialized; only called during build or
+        // under the node lock.
+        unsafe { *self.height_ptr() = h }
+    }
+
+    // ---- mask section accessors -------------------------------------------------
+
+    /// Single-mask: the starting byte offset.
+    #[inline]
+    fn single_offset(self) -> usize {
+        // SAFETY: single-mask section starts right after the header.
+        unsafe { *self.base.add(HEADER_BYTES) as usize }
+    }
+
+    /// Single-mask: the 64-bit extraction mask (in big-endian window space).
+    #[inline]
+    fn single_mask(self) -> u64 {
+        // SAFETY: mask is at header + 8, 8-byte aligned.
+        unsafe { *(self.base.add(HEADER_BYTES + 8) as *const u64) }
+    }
+
+    #[inline]
+    fn set_single(self, offset: u8, mask: u64) {
+        // SAFETY: exclusively owned during build.
+        unsafe {
+            *self.base.add(HEADER_BYTES) = offset;
+            *(self.base.add(HEADER_BYTES + 8) as *mut u64) = mask;
+        }
+    }
+
+    /// Multi-mask: the byte-offset array (width = slot count).
+    #[inline]
+    fn multi_offsets(self, slots: usize) -> &'static [u8] {
+        // SAFETY: offsets start right after the header, `slots` bytes.
+        unsafe { std::slice::from_raw_parts(self.base.add(HEADER_BYTES), slots) }
+    }
+
+    /// Multi-mask: the mask words; word `w` packs mask bytes of slots
+    /// `8w..8w+8` big-endian (slot `8w` in the most significant byte), so
+    /// a PEXT over the correspondingly gathered key bytes emits bits in
+    /// global position order.
+    #[inline]
+    fn multi_mask_word(self, slots: usize, w: usize) -> u64 {
+        // SAFETY: mask words follow the offsets array (8-byte aligned since
+        // slots is 8, 16 or 32 and the header is 8 bytes).
+        unsafe { *(self.base.add(HEADER_BYTES + slots) as *const u64).add(w) }
+    }
+
+    #[inline]
+    fn set_multi(self, offsets: &[u8], mask_bytes: &[u8]) {
+        let slots = offsets.len();
+        debug_assert_eq!(mask_bytes.len(), slots);
+        // SAFETY: exclusively owned during build; section is `2 * slots`.
+        unsafe {
+            std::ptr::copy_nonoverlapping(offsets.as_ptr(), self.base.add(HEADER_BYTES), slots);
+            let words = self.base.add(HEADER_BYTES + slots) as *mut u64;
+            for w in 0..slots / 8 {
+                let mut bytes = [0u8; 8];
+                bytes.copy_from_slice(&mask_bytes[w * 8..w * 8 + 8]);
+                *words.add(w) = u64::from_be_bytes(bytes);
+            }
+        }
+    }
+
+    // ---- partial keys and values ------------------------------------------------
+
+    #[inline]
+    pub fn pkeys_base(self) -> *mut u8 {
+        // SAFETY: offset computed from the node's own geometry.
+        unsafe { self.base.add(geometry(self.tag, self.count()).pkeys_offset) }
+    }
+
+    #[inline]
+    pub fn values_ptr(self) -> *const AtomicU64 {
+        // SAFETY: offset computed from the node's own geometry; the values
+        // section is 8-byte aligned.
+        unsafe {
+            self.base.add(geometry(self.tag, self.count()).values_offset) as *const AtomicU64
+        }
+    }
+
+    /// Load the value word of entry `i`.
+    #[inline]
+    pub fn value(self, i: usize) -> NodeRef {
+        debug_assert!(i < self.count());
+        // SAFETY: i < count; values are initialized at build time.
+        NodeRef(unsafe { (*self.values_ptr().add(i)).load(Ordering::Acquire) })
+    }
+
+    /// Store the value word of entry `i` (the "single pointer swap" that
+    /// publishes copy-on-write replacements).
+    #[inline]
+    pub fn store_value(self, i: usize, v: NodeRef) {
+        debug_assert!(i < self.count());
+        // SAFETY: i < count.
+        unsafe { (*self.values_ptr().add(i)).store(v.0, Ordering::Release) }
+    }
+
+    /// The sparse partial key of entry `i`, widened to u32.
+    #[inline]
+    pub fn sparse_key(self, i: usize) -> u32 {
+        debug_assert!(i < self.count());
+        let base = self.pkeys_base();
+        // SAFETY: i < count and the partial-key section holds `count`
+        // entries of the tag's width.
+        unsafe {
+            match self.tag.key_width() {
+                1 => *base.add(i) as u32,
+                2 => *(base as *const u16).add(i) as u32,
+                _ => *(base as *const u32).add(i),
+            }
+        }
+    }
+
+    // ---- search -------------------------------------------------------------------
+
+    /// Extract the dense partial key of `key` for this node's bit positions.
+    #[inline]
+    pub fn extract_dense(self, key: &[u8; KEY_PAD_LEN]) -> u32 {
+        match self.tag.mask_kind() {
+            MaskKind::Single => {
+                let window = hot_bits::load_be_u64(key, self.single_offset());
+                hot_bits::pext64(window, self.single_mask()) as u32
+            }
+            MaskKind::Multi(slots) => {
+                let offsets = self.multi_offsets(slots);
+                let mut dense: u64 = 0;
+                for w in 0..slots / 8 {
+                    let mut gathered = [0u8; 8];
+                    for s in 0..8 {
+                        gathered[s] = key[offsets[w * 8 + s] as usize];
+                    }
+                    let word = u64::from_be_bytes(gathered);
+                    let mask = self.multi_mask_word(slots, w);
+                    dense = (dense << mask.count_ones()) | hot_bits::pext64(word, mask);
+                }
+                dense as u32
+            }
+        }
+    }
+
+    /// Intra-node search: index of the result candidate for `dense`
+    /// (highest-index subset match; Listing 2's `searchPartialKeys*`).
+    #[inline]
+    pub fn search(self, dense: u32) -> usize {
+        let n = self.count();
+        let base = self.pkeys_base();
+        // SAFETY: the allocation reserves the SIMD padding behind the
+        // partial-key section (see `geometry`) and n is in 2..=32.
+        unsafe {
+            match self.tag.key_width() {
+                1 => hot_bits::search_subset_u8(base, n, dense as u8),
+                2 => hot_bits::search_subset_u16(base as *const u16, n, dense as u16),
+                _ => hot_bits::search_subset_u32(base as *const u32, n, dense),
+            }
+        }
+    }
+
+    /// One descent step: extract, search, return (entry index, value word).
+    #[inline]
+    pub fn find_candidate(self, key: &[u8; KEY_PAD_LEN]) -> (usize, NodeRef) {
+        let dense = self.extract_dense(key);
+        let idx = self.search(dense);
+        (idx, self.value(idx))
+    }
+
+    /// Smallest discriminative bit position — the position of this node's
+    /// root BiNode (positions strictly increase along every path, so the
+    /// minimum over the node is attained at its root BiNode).
+    #[inline]
+    pub fn min_position(self) -> u16 {
+        match self.tag.mask_kind() {
+            MaskKind::Single => {
+                let mask = self.single_mask();
+                debug_assert!(mask != 0);
+                (self.single_offset() * 8) as u16 + mask.leading_zeros() as u16
+            }
+            MaskKind::Multi(slots) => {
+                // Slot 0 holds the smallest byte offset; its most significant
+                // mask bit is the smallest position.
+                let offsets = self.multi_offsets(slots);
+                let byte0 = (self.multi_mask_word(slots, 0) >> 56) as u8;
+                debug_assert!(byte0 != 0);
+                (offsets[0] as u16) * 8 + byte0.leading_zeros() as u16
+            }
+        }
+    }
+
+    /// Decode the sorted discriminative bit positions (inverse of the mask
+    /// encoding; used by structure modifications and invariant checks).
+    pub fn positions(self) -> Vec<u16> {
+        let mut out = Vec::new();
+        self.positions_into(&mut out);
+        out
+    }
+
+    /// Bulk-read all sparse keys (widened) and value words into the given
+    /// buffers — one width dispatch instead of one per entry.
+    pub fn read_entries(self, sparse: &mut Vec<u32>, values: &mut Vec<u64>) {
+        let n = self.count();
+        sparse.clear();
+        values.clear();
+        let base = self.pkeys_base();
+        // SAFETY: the partial-key section holds `count` entries of the
+        // tag's width; values are initialized.
+        unsafe {
+            match self.tag.key_width() {
+                1 => sparse.extend(std::slice::from_raw_parts(base, n).iter().map(|&k| k as u32)),
+                2 => sparse.extend(
+                    std::slice::from_raw_parts(base as *const u16, n)
+                        .iter()
+                        .map(|&k| k as u32),
+                ),
+                _ => sparse.extend_from_slice(std::slice::from_raw_parts(base as *const u32, n)),
+            }
+            let vals = self.values_ptr();
+            values.extend((0..n).map(|i| (*vals.add(i)).load(Ordering::Relaxed)));
+        }
+    }
+
+    /// Number of discriminative positions strictly below `pos`, and the
+    /// total position count — computed directly from the mask encoding
+    /// (no allocation; used by the hot insert/scan paths).
+    pub fn rank_and_total(self, pos: usize) -> (usize, usize) {
+        match self.tag.mask_kind() {
+            MaskKind::Single => {
+                let mask = self.single_mask();
+                let m = mask.count_ones() as usize;
+                let base = self.single_offset() * 8;
+                if pos <= base {
+                    return (0, m);
+                }
+                let rel = pos - base;
+                if rel >= 64 {
+                    return (m, m);
+                }
+                // Positions below `pos` occupy window bits above 63-rel.
+                ((mask >> (64 - rel)).count_ones() as usize, m)
+            }
+            MaskKind::Multi(slots) => {
+                let offsets = self.multi_offsets(slots);
+                let byte_pos = pos / 8;
+                let bit_in_byte = pos % 8;
+                let mut rank = 0usize;
+                let mut total = 0usize;
+                for (s, &offset) in offsets.iter().enumerate() {
+                    let word = self.multi_mask_word(slots, s / 8);
+                    let mask_byte = (word >> (8 * (7 - s % 8))) as u8;
+                    if mask_byte == 0 {
+                        continue;
+                    }
+                    let ones = mask_byte.count_ones() as usize;
+                    total += ones;
+                    let b = offset as usize;
+                    if b < byte_pos {
+                        rank += ones;
+                    } else if b == byte_pos && bit_in_byte > 0 {
+                        // Key bits i < bit_in_byte live in mask-byte bits
+                        // above (7 - bit_in_byte).
+                        rank += (mask_byte >> (8 - bit_in_byte)).count_ones() as usize;
+                    }
+                }
+                (rank, total)
+            }
+        }
+    }
+
+    /// Like [`Self::rank_and_total`], additionally reporting whether `pos`
+    /// itself is already a discriminative position.
+    pub fn rank_total_contains(self, pos: usize) -> (usize, usize, bool) {
+        let (rank, total) = self.rank_and_total(pos);
+        let contains = match self.tag.mask_kind() {
+            MaskKind::Single => {
+                let base = self.single_offset() * 8;
+                pos >= base
+                    && pos < base + 64
+                    && self.single_mask() & (1u64 << (63 - (pos - base))) != 0
+            }
+            MaskKind::Multi(slots) => {
+                let byte = (pos / 8) as u8;
+                let bit = 1u8 << (7 - pos % 8);
+                let offsets = self.multi_offsets(slots);
+                (0..slots).any(|sl| {
+                    let word = self.multi_mask_word(slots, sl / 8);
+                    let mask_byte = (word >> (8 * (7 - sl % 8))) as u8;
+                    mask_byte != 0 && offsets[sl] == byte && mask_byte & bit != 0
+                })
+            }
+        };
+        (rank, total, contains)
+    }
+
+    /// Fused copy-on-write insert fast path (the common normal-insert case).
+    ///
+    /// Builds the new node directly from this node's physical layout when
+    /// the layout is structurally stable: the node is not full, the
+    /// partial-key width does not change, and the new position either
+    /// already exists, fits the single-mask window, or lands in an existing
+    /// multi-mask byte slot. Returns `None` when any of that fails — the
+    /// caller falls back to the general builder path.
+    ///
+    /// `lo..=hi` is the affected entry range, `key_bit` the new key's bit at
+    /// `pos`, `leaf` the new entry's value word.
+    pub fn insert_entry_cow(
+        self,
+        pos: usize,
+        lo: usize,
+        hi: usize,
+        key_bit: u8,
+        leaf: u64,
+        mem: &MemCounter,
+    ) -> Option<NodeRef> {
+        let n = self.count();
+        if n >= MAX_FANOUT {
+            return None; // overflow: the builder/split path handles it
+        }
+        let (rank, m, contains) = self.rank_total_contains(pos);
+        let new_m = m + usize::from(!contains);
+        let width = self.tag.key_width();
+        let new_width = match new_m {
+            0..=8 => 1,
+            9..=16 => 2,
+            _ => 4,
+        };
+        if new_width != width {
+            return None;
+        }
+
+        // Work out the (possibly) updated mask section.
+        enum MaskPatch {
+            None,
+            Single(u64),
+            Multi { slot: usize, byte_mask: u8 },
+        }
+        let patch = if contains {
+            MaskPatch::None
+        } else {
+            match self.tag.mask_kind() {
+                MaskKind::Single => {
+                    let base = self.single_offset() * 8;
+                    if pos < base || pos >= base + 64 {
+                        return None; // window must grow: builder path
+                    }
+                    MaskPatch::Single(self.single_mask() | (1u64 << (63 - (pos - base))))
+                }
+                MaskKind::Multi(slots) => {
+                    let byte = (pos / 8) as u8;
+                    let offsets = self.multi_offsets(slots);
+                    let mut found = None;
+                    for sl in 0..slots {
+                        let word = self.multi_mask_word(slots, sl / 8);
+                        let mask_byte = (word >> (8 * (7 - sl % 8))) as u8;
+                        if mask_byte != 0 && offsets[sl] == byte {
+                            found = Some((sl, mask_byte | (1u8 << (7 - pos % 8))));
+                            break;
+                        }
+                    }
+                    match found {
+                        Some((slot, byte_mask)) => MaskPatch::Multi { slot, byte_mask },
+                        None => return None, // new byte slot: builder path
+                    }
+                }
+            }
+        };
+
+        let e = (new_m - 1 - rank) as u32; // extracted bit of `pos`
+        let deposit = if contains {
+            0 // no recode
+        } else {
+            (((1u64 << new_m) - 1) & !(1u64 << e)) as u32
+        };
+        let at = if key_bit == 1 { hi + 1 } else { lo };
+
+        let node = RawNode::alloc(self.tag, n + 1, self.height(), mem);
+        // Copy the mask section (between header and pkeys) verbatim, then
+        // apply the one-bit patch.
+        let geo = geometry(self.tag, n + 1);
+        // SAFETY: both nodes share the tag; the mask section lies between
+        // the 8-byte header and the partial keys and has identical extent.
+        unsafe {
+            std::ptr::copy_nonoverlapping(
+                self.base.add(HEADER_BYTES),
+                node.base.add(HEADER_BYTES),
+                geo.pkeys_offset - HEADER_BYTES,
+            );
+        }
+        match patch {
+            MaskPatch::None => {}
+            MaskPatch::Single(mask) => {
+                // SAFETY: single-mask word sits at header + 8.
+                unsafe { *(node.base.add(HEADER_BYTES + 8) as *mut u64) = mask };
+            }
+            MaskPatch::Multi { slot, byte_mask } => {
+                let MaskKind::Multi(slots) = self.tag.mask_kind() else {
+                    unreachable!()
+                };
+                // SAFETY: mask words follow the offsets array.
+                unsafe {
+                    let word_ptr =
+                        (node.base.add(HEADER_BYTES + slots) as *mut u64).add(slot / 8);
+                    let shift = 8 * (7 - slot % 8);
+                    let cleared = *word_ptr & !(0xFFu64 << shift);
+                    *word_ptr = cleared | ((byte_mask as u64) << shift);
+                }
+            }
+        }
+
+        // Transform + insert the sparse partial keys in one pass.
+        let transform = |v: u32, idx: usize| -> u32 {
+            let mut v = if contains {
+                v
+            } else {
+                hot_bits::pdep64(v as u64, deposit as u64) as u32
+            };
+            if key_bit == 0 && (lo..=hi).contains(&idx) {
+                v |= 1 << e;
+            }
+            v
+        };
+        // The new entry shares the path prefix (bits above `e`) with the
+        // affected subtree; take it from the transformed `lo` entry before
+        // its inverse-bit patch — i.e. from the recoded-only value.
+        let prefix_mask = if e as usize + 1 >= 32 {
+            0
+        } else {
+            !((2u32 << e) - 1)
+        };
+        let lo_recoded = if contains {
+            self.sparse_key(lo)
+        } else {
+            hot_bits::pdep64(self.sparse_key(lo) as u64, deposit as u64) as u32
+        };
+        let new_sparse = (lo_recoded & prefix_mask) | ((key_bit as u32) << e);
+
+        let src = self.pkeys_base();
+        let dst = node.pkeys_base();
+        // SAFETY: source holds n entries, destination n+1, both of `width`.
+        unsafe {
+            match width {
+                1 => {
+                    for i in 0..n + 1 {
+                        let v = match i.cmp(&at) {
+                            std::cmp::Ordering::Less => transform(*src.add(i) as u32, i),
+                            std::cmp::Ordering::Equal => new_sparse,
+                            std::cmp::Ordering::Greater => transform(*src.add(i - 1) as u32, i - 1),
+                        };
+                        *dst.add(i) = v as u8;
+                    }
+                }
+                2 => {
+                    let (src, dst) = (src as *const u16, dst as *mut u16);
+                    for i in 0..n + 1 {
+                        let v = match i.cmp(&at) {
+                            std::cmp::Ordering::Less => transform(*src.add(i) as u32, i),
+                            std::cmp::Ordering::Equal => new_sparse,
+                            std::cmp::Ordering::Greater => transform(*src.add(i - 1) as u32, i - 1),
+                        };
+                        *dst.add(i) = v as u16;
+                    }
+                }
+                _ => {
+                    let (src, dst) = (src as *const u32, dst as *mut u32);
+                    for i in 0..n + 1 {
+                        let v = match i.cmp(&at) {
+                            std::cmp::Ordering::Less => transform(*src.add(i), i),
+                            std::cmp::Ordering::Equal => new_sparse,
+                            std::cmp::Ordering::Greater => transform(*src.add(i - 1), i - 1),
+                        };
+                        *dst.add(i) = v;
+                    }
+                }
+            }
+            // Values: two block copies around the hole.
+            let vsrc = self.values_ptr() as *const u64;
+            let vdst = node.values_ptr() as *mut u64;
+            std::ptr::copy_nonoverlapping(vsrc, vdst, at);
+            *vdst.add(at) = leaf;
+            std::ptr::copy_nonoverlapping(vsrc.add(at), vdst.add(at + 1), n - at);
+        }
+        Some(NodeRef::node(node.base, self.tag))
+    }
+
+    /// The contiguous run of entries in the subtree that a (possibly new)
+    /// discriminative bit at `pos` would split, on the path through entry
+    /// `through` (see `builder` module docs for the correctness argument).
+    pub fn affected_range(self, pos: usize, through: usize) -> (usize, usize) {
+        let (rank, m) = self.rank_and_total(pos);
+        let mask = if rank == 0 {
+            0u32
+        } else {
+            (((1u64 << rank) - 1) << (m - rank)) as u32
+        };
+        let prefix = self.sparse_key(through) & mask;
+        let mut lo = through;
+        while lo > 0 && self.sparse_key(lo - 1) & mask == prefix {
+            lo -= 1;
+        }
+        let mut hi = through;
+        while hi + 1 < self.count() && self.sparse_key(hi + 1) & mask == prefix {
+            hi += 1;
+        }
+        (lo, hi)
+    }
+
+    /// Like [`Self::positions`], reusing the caller's buffer.
+    pub fn positions_into(self, out: &mut Vec<u16>) {
+        out.clear();
+        match self.tag.mask_kind() {
+            MaskKind::Single => {
+                let offset = self.single_offset();
+                let mask = self.single_mask();
+                for j in (0..64).rev() {
+                    if mask & (1u64 << j) != 0 {
+                        out.push((offset * 8 + 63 - j) as u16);
+                    }
+                }
+            }
+            MaskKind::Multi(slots) => {
+                let offsets = self.multi_offsets(slots);
+                for (s, &offset) in offsets.iter().enumerate() {
+                    let word = self.multi_mask_word(slots, s / 8);
+                    let byte = (word >> (8 * (7 - s % 8))) as u8;
+                    if byte == 0 {
+                        continue;
+                    }
+                    for i in 0..8 {
+                        if byte & (1 << (7 - i)) != 0 {
+                            out.push(offset as u16 * 8 + i as u16);
+                        }
+                    }
+                }
+            }
+        }
+        debug_assert!(out.windows(2).all(|w| w[0] < w[1]), "positions sorted");
+    }
+
+    /// Write the full node contents from decoded parts (build time only).
+    pub(crate) fn fill(
+        self,
+        positions: &[u16],
+        sparse: &[u32],
+        values: &[u64],
+    ) {
+        debug_assert_eq!(sparse.len(), values.len());
+        debug_assert_eq!(self.count(), values.len());
+        match self.tag.mask_kind() {
+            MaskKind::Single => {
+                let offset = (positions[0] / 8) as u8;
+                let mut mask = 0u64;
+                for &p in positions {
+                    let rel = p as usize - offset as usize * 8;
+                    debug_assert!(rel < 64);
+                    mask |= 1u64 << (63 - rel);
+                }
+                self.set_single(offset, mask);
+            }
+            MaskKind::Multi(slots) => {
+                let mut offsets = [0u8; 32];
+                let mut mask_bytes = [0u8; 32];
+                let mut used = 0usize;
+                let mut last_byte = u16::MAX;
+                for &p in positions {
+                    let byte = p / 8;
+                    if byte != last_byte {
+                        offsets[used] = byte as u8;
+                        used += 1;
+                        last_byte = byte;
+                    }
+                    mask_bytes[used - 1] |= 1 << (7 - (p % 8));
+                }
+                debug_assert!(used <= slots);
+                self.set_multi(&offsets[..slots], &mask_bytes[..slots]);
+            }
+        }
+        // Bulk-write partial keys and values: one width dispatch, tight
+        // copy loops (this is the hot part of every copy-on-write insert).
+        let n = values.len();
+        let base = self.pkeys_base();
+        // SAFETY: exclusively owned during build; section sizes follow from
+        // the node's geometry.
+        unsafe {
+            match self.tag.key_width() {
+                1 => {
+                    for (i, &k) in sparse.iter().enumerate() {
+                        debug_assert!(k <= u8::MAX as u32);
+                        *base.add(i) = k as u8;
+                    }
+                }
+                2 => {
+                    let dst = base as *mut u16;
+                    for (i, &k) in sparse.iter().enumerate() {
+                        debug_assert!(k <= u16::MAX as u32);
+                        *dst.add(i) = k as u16;
+                    }
+                }
+                _ => {
+                    std::ptr::copy_nonoverlapping(sparse.as_ptr(), base as *mut u32, n);
+                }
+            }
+            std::ptr::copy_nonoverlapping(values.as_ptr(), self.values_ptr() as *mut u64, n);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tag_roundtrip_and_properties() {
+        for tag in NodeTag::ALL {
+            assert_eq!(NodeTag::from_u8(tag as u8), tag);
+            assert!(matches!(tag.key_width(), 1 | 2 | 4));
+        }
+        assert_eq!(NodeTag::Single8.key_width(), 1);
+        assert_eq!(NodeTag::Multi32x32.key_width(), 4);
+        assert_eq!(NodeTag::Multi16x16.mask_kind(), MaskKind::Multi(16));
+    }
+
+    #[test]
+    fn choose_prefers_smallest_layout() {
+        // 3 bits in one byte -> single mask, 8-bit keys.
+        assert_eq!(NodeTag::choose(&[0, 3, 7]), NodeTag::Single8);
+        // 3 bits spanning bytes 0..7 (56 bits apart) -> still single window.
+        assert_eq!(NodeTag::choose(&[0, 30, 62]), NodeTag::Single8);
+        // Window of 9 bytes -> multi-mask with 2 distinct bytes.
+        assert_eq!(NodeTag::choose(&[0, 64]), NodeTag::Multi8x8);
+        // 12 bits within one window -> single-mask 16-bit keys.
+        let twelve: Vec<u16> = (0..12).collect();
+        assert_eq!(NodeTag::choose(&twelve), NodeTag::Single16);
+        // 20 bits within one window -> single-mask 32-bit keys.
+        let twenty: Vec<u16> = (0..20).collect();
+        assert_eq!(NodeTag::choose(&twenty), NodeTag::Single32);
+        // 12 distinct far-apart bytes -> multi-16 with 16-bit keys.
+        let spread12: Vec<u16> = (0..12).map(|i| i * 80).collect();
+        assert_eq!(NodeTag::choose(&spread12), NodeTag::Multi16x16);
+        // 12 distinct bytes but 17+ bits -> multi-16 with 32-bit keys.
+        let mut dense17: Vec<u16> = (0..12).map(|i| i * 80).collect();
+        dense17.extend((1..6).map(|i| i + 960));
+        dense17.sort_unstable();
+        assert_eq!(NodeTag::choose(&dense17), NodeTag::Multi16x32);
+        // 20 distinct bytes -> multi-32.
+        let spread20: Vec<u16> = (0..20).map(|i| i * 100).collect();
+        assert_eq!(NodeTag::choose(&spread20), NodeTag::Multi32x32);
+    }
+
+    #[test]
+    fn geometry_is_sane_for_all_tags_and_counts() {
+        for tag in NodeTag::ALL {
+            for count in 2..=MAX_FANOUT {
+                let geo = geometry(tag, count);
+                assert!(geo.pkeys_offset >= HEADER_BYTES);
+                assert!(geo.values_offset >= geo.pkeys_offset + count * tag.key_width());
+                assert_eq!(geo.values_offset % 8, 0);
+                assert!(geo.alloc_size >= geo.values_offset + count * 8);
+                assert!(geo.alloc_size >= geo.pkeys_offset + tag.simd_padding());
+                assert_eq!(geo.alloc_size % NODE_ALIGN, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn node_sizes_are_compact() {
+        // A 32-entry Single8 node: 8 header + 16 mask + 32 pkeys + 256
+        // values = 312 -> 320 aligned. That is 10 bytes/key, in line with
+        // the paper's 11.4–14.4 bytes/key overall.
+        let geo = geometry(NodeTag::Single8, 32);
+        assert_eq!(geo.alloc_size, 320);
+    }
+
+    #[test]
+    fn leaf_refs_roundtrip() {
+        for tid in [0u64, 1, hot_keys::MAX_TID] {
+            let r = NodeRef::leaf(tid);
+            assert!(r.is_leaf());
+            assert!(!r.is_node());
+            assert!(!r.is_null());
+            assert_eq!(r.tid(), tid);
+        }
+        assert!(NodeRef::NULL.is_null());
+        assert!(!NodeRef::NULL.is_node());
+        assert!(!NodeRef::NULL.is_leaf());
+    }
+
+    #[test]
+    fn alloc_fill_decode_roundtrip_single() {
+        let mem = MemCounter::default();
+        let positions = [3u16, 4, 6, 8, 9];
+        let sparse = [0b00000u32, 0b00010, 0b01000, 0b01001, 0b10000];
+        let values: Vec<u64> = (0..5).map(|i| NodeRef::leaf(i).0).collect();
+        let node = RawNode::alloc(NodeTag::choose(&positions), 5, 1, &mem);
+        node.fill(&positions, &sparse, &values);
+
+        assert_eq!(node.count(), 5);
+        assert_eq!(node.height(), 1);
+        assert_eq!(node.positions(), positions);
+        assert_eq!(node.min_position(), 3);
+        for (i, &s) in sparse.iter().enumerate() {
+            assert_eq!(node.sparse_key(i), s);
+            assert_eq!(node.value(i).0, values[i]);
+        }
+        assert!(mem.bytes() > 0);
+        assert_eq!(mem.nodes(), 1);
+        unsafe { node.free(&mem) };
+        assert_eq!(mem.bytes(), 0);
+        assert_eq!(mem.nodes(), 0);
+    }
+
+    #[test]
+    fn alloc_fill_decode_roundtrip_multi() {
+        let mem = MemCounter::default();
+        // Positions spread over 10 distinct bytes -> Multi16x16.
+        let positions: Vec<u16> = (0..10).map(|i| i * 81).collect();
+        let tag = NodeTag::choose(&positions);
+        assert_eq!(tag, NodeTag::Multi16x16);
+        let n = 11;
+        let sparse: Vec<u32> = (0..n as u32).collect();
+        let values: Vec<u64> = (0..n as u64).map(|i| NodeRef::leaf(i).0).collect();
+        let node = RawNode::alloc(tag, n, 2, &mem);
+        node.fill(&positions, &sparse, &values);
+        assert_eq!(node.positions(), positions);
+        assert_eq!(node.min_position(), 0);
+        for i in 0..n {
+            assert_eq!(node.sparse_key(i), sparse[i]);
+        }
+        unsafe { node.free(&mem) };
+    }
+
+    #[test]
+    fn extract_dense_single_mask() {
+        let mem = MemCounter::default();
+        // Positions 3,4,6,8,9 as in Figure 5 of the paper.
+        let positions = [3u16, 4, 6, 8, 9];
+        let node = RawNode::alloc(NodeTag::choose(&positions), 2, 1, &mem);
+        node.fill(&positions, &[0, 1], &[NodeRef::leaf(0).0, NodeRef::leaf(1).0]);
+
+        // Key bits (MSB-first): 0110101101 -> positions {3:0,4:1,6:1,8:0,9:1}
+        // Dense partial key (positions ascending -> bits MSB..LSB): 01101.
+        let mut key = hot_keys::PaddedKey::new();
+        key.set(&[0b0110_1011, 0b0100_0000]);
+        assert_eq!(node.extract_dense(key.padded()), 0b01101);
+        unsafe { node.free(&mem) };
+    }
+
+    #[test]
+    fn extract_dense_multi_mask_matches_bitwise_reference(){
+        let mem = MemCounter::default();
+        // Positions spread across distant bytes, mixed bits per byte.
+        let positions: Vec<u16> = vec![1, 6, 130, 133, 260, 400, 401, 402, 950, 1001];
+        let tag = NodeTag::choose(&positions);
+        assert!(matches!(tag.mask_kind(), MaskKind::Multi(_)));
+        let node = RawNode::alloc(tag, 2, 1, &mem);
+        node.fill(&positions, &[0, 1], &[NodeRef::leaf(0).0, NodeRef::leaf(1).0]);
+
+        let mut raw = [0u8; 200];
+        for (i, b) in raw.iter_mut().enumerate() {
+            *b = (i as u8).wrapping_mul(151).wrapping_add(17);
+        }
+        let mut key = hot_keys::PaddedKey::new();
+        key.set(&raw);
+
+        // Bit-by-bit reference extraction: positions ascending, MSB first.
+        let mut expected = 0u32;
+        for &p in &positions {
+            expected = (expected << 1) | hot_bits::bit_at(key.bytes(), p as usize) as u32;
+        }
+        assert_eq!(node.extract_dense(key.padded()), expected);
+        unsafe { node.free(&mem) };
+    }
+
+    #[test]
+    fn rank_and_total_matches_positions_reference() {
+        // rank_and_total computes the "how many positions < pos" rank
+        // straight off the mask encoding; cross-check against the decoded
+        // position list for layouts of every mask kind.
+        let mem = MemCounter::default();
+        let position_sets: Vec<Vec<u16>> = vec![
+            vec![0],                                  // single, one bit
+            vec![3, 4, 6, 8, 9],                      // single, Figure 5
+            (0..31).collect(),                        // single, full window
+            vec![56, 57, 120, 121],                   // single (span 8..15=8 bytes? no: bytes 7 & 15 -> multi)
+            vec![0, 100],                             // multi-8
+            vec![7, 64, 129, 200, 300, 411, 512, 637],// multi-8, 8 bytes
+            (0..10).map(|i| i * 81).collect(),        // multi-16
+            (0..20).map(|i| i * 100).collect(),       // multi-32
+        ];
+        for positions in position_sets {
+            let n = positions.len() + 1;
+            // A rightmost-chain trie is a valid linearization for any
+            // position set: entry i branches right at the i-th position.
+            let m = positions.len();
+            let sparse: Vec<u32> = (0..=m as u32)
+                .map(|i| {
+                    // entry i: bits at the i highest extracted positions set
+                    if i == 0 {
+                        0
+                    } else {
+                        let ones = ((1u64 << i) - 1) as u32;
+                        ones << (m as u32 - i)
+                    }
+                })
+                .collect();
+            let values: Vec<u64> = (0..=m as u64).map(|i| NodeRef::leaf(i).0).collect();
+            let tag = NodeTag::choose(&positions);
+            let node = RawNode::alloc(tag, n, 1, &mem);
+            node.fill(&positions, &sparse, &values);
+
+            let max_pos = *positions.last().unwrap() as usize;
+            for probe in 0..=(max_pos + 10) {
+                let (rank, total) = node.rank_and_total(probe);
+                let expect_rank = positions.iter().filter(|&&p| (p as usize) < probe).count();
+                assert_eq!(
+                    (rank, total),
+                    (expect_rank, positions.len()),
+                    "positions {positions:?} probe {probe} tag {tag:?}"
+                );
+            }
+            unsafe { node.free(&mem) };
+        }
+        assert_eq!(mem.bytes(), 0);
+    }
+
+    #[test]
+    fn read_entries_round_trips_all_widths() {
+        let mem = MemCounter::default();
+        for (positions, n) in [
+            ((0u16..5).collect::<Vec<_>>(), 6usize), // u8 pkeys
+            ((0u16..12).collect::<Vec<_>>(), 13),    // u16 pkeys
+            ((0u16..20).collect::<Vec<_>>(), 21),    // u32 pkeys
+        ] {
+            let m = positions.len();
+            // Rightmost-chain sparse keys (valid linearization).
+            let sparse: Vec<u32> = (0..n as u32)
+                .map(|i| if i == 0 { 0 } else { (((1u64 << i) - 1) as u32) << (m as u32 - i) })
+                .collect();
+            let values: Vec<u64> = (0..n as u64).map(|i| NodeRef::leaf(i * 7).0).collect();
+            let node = RawNode::alloc(NodeTag::choose(&positions), n, 1, &mem);
+            node.fill(&positions, &sparse, &values);
+            let (mut s, mut v) = (Vec::new(), Vec::new());
+            node.read_entries(&mut s, &mut v);
+            assert_eq!(s, sparse);
+            assert_eq!(v, values);
+            unsafe { node.free(&mem) };
+        }
+    }
+
+    #[test]
+    fn recycled_allocations_start_clean() {
+        // The free-list allocator hands back used blocks; headers must be
+        // cleared and contents fully overwritten by fill.
+        let mem = MemCounter::default();
+        for round in 0..10 {
+            let positions = [3u16, 9, 14];
+            let sparse = [0b000u32, 0b001, 0b010, 0b100];
+            let values: Vec<u64> = (0..4).map(|i| NodeRef::leaf(i + round).0).collect();
+            let node = RawNode::alloc(NodeTag::choose(&positions), 4, 2, &mem);
+            node.fill(&positions, &sparse, &values);
+            assert_eq!(node.count(), 4);
+            assert_eq!(node.height(), 2);
+            assert_eq!(node.positions(), positions);
+            for i in 0..4 {
+                assert_eq!(node.sparse_key(i), sparse[i]);
+                assert_eq!(node.value(i).0, values[i as usize]);
+            }
+            assert_eq!(node.lock_word().load(Ordering::Relaxed), 0, "lock starts clear");
+            unsafe { node.free(&mem) };
+        }
+        assert_eq!(mem.bytes(), 0);
+    }
+
+    #[test]
+    fn search_on_filled_node() {
+        let mem = MemCounter::default();
+        let positions = [0u16, 1];
+        // Entries: sparse 00, 01, 10 (keys 00,01,1x in trie order).
+        let node = RawNode::alloc(NodeTag::choose(&positions), 3, 1, &mem);
+        node.fill(
+            &positions,
+            &[0b00, 0b01, 0b10],
+            &[NodeRef::leaf(0).0, NodeRef::leaf(1).0, NodeRef::leaf(2).0],
+        );
+        assert_eq!(node.search(0b00), 0);
+        assert_eq!(node.search(0b01), 1);
+        assert_eq!(node.search(0b10), 2);
+        assert_eq!(node.search(0b11), 2); // sparse keys: 10 ⊆ 11 wins
+        unsafe { node.free(&mem) };
+    }
+}

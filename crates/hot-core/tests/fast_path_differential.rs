@@ -1,0 +1,62 @@
+//! Differential test: the fused insert fast path must produce *identical*
+//! trees to the general builder path, for every data set shape.
+
+use hot_core::trie::DISABLE_INSERT_FAST_PATH;
+use hot_core::HotTrie;
+use hot_keys::ArenaKeySource;
+use hot_ycsb::{Dataset, DatasetKind};
+use proptest::prelude::*;
+use std::sync::atomic::Ordering;
+
+fn build(keys: &[Vec<u8>], arena: &ArenaKeySource, tids: &[u64], fast: bool) -> u64 {
+    DISABLE_INSERT_FAST_PATH.store(!fast, Ordering::Relaxed);
+    let mut t = HotTrie::new(arena);
+    for (k, &tid) in keys.iter().zip(tids) {
+        t.insert(k, tid);
+    }
+    t.validate();
+    let digest = t.structure_digest();
+    DISABLE_INSERT_FAST_PATH.store(false, Ordering::Relaxed);
+    digest
+}
+
+#[test]
+fn fast_and_slow_paths_build_identical_trees() {
+    for kind in DatasetKind::ALL {
+        let data = Dataset::generate(kind, 20_000, 61);
+        let mut arena = ArenaKeySource::new();
+        let tids: Vec<u64> = data.keys.iter().map(|k| arena.push(k)).collect();
+        let fast = build(&data.keys, &arena, &tids, true);
+        let slow = build(&data.keys, &arena, &tids, false);
+        assert_eq!(fast, slow, "paths diverge on {kind:?}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn differential_random_integers(keys in prop::collection::btree_set(0u64..1_000_000, 2..400)) {
+        let encoded: Vec<Vec<u8>> = keys.iter().map(|&k| hot_keys::encode_u64(k).to_vec()).collect();
+        let mut arena = ArenaKeySource::new();
+        let tids: Vec<u64> = encoded.iter().map(|k| arena.push(k)).collect();
+        prop_assert_eq!(
+            build(&encoded, &arena, &tids, true),
+            build(&encoded, &arena, &tids, false)
+        );
+    }
+
+    #[test]
+    fn differential_random_strings(words in prop::collection::btree_set("[a-d]{1,20}", 2..200)) {
+        let encoded: Vec<Vec<u8>> = words
+            .iter()
+            .map(|w| hot_keys::str_key(w.as_bytes()).unwrap())
+            .collect();
+        let mut arena = ArenaKeySource::new();
+        let tids: Vec<u64> = encoded.iter().map(|k| arena.push(k)).collect();
+        prop_assert_eq!(
+            build(&encoded, &arena, &tids, true),
+            build(&encoded, &arena, &tids, false)
+        );
+    }
+}

@@ -1,0 +1,111 @@
+//! Property tests: `HotMap` behaves exactly like `BTreeMap<Vec<u8>, V>` for
+//! arbitrary operation sequences (including value ownership semantics), and
+//! its bounded ranges match the model's.
+
+use hot_core::HotMap;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(String, u32),
+    Remove(String),
+    Get(String),
+    GetMutAdd(String, u32),
+    Range(String, String),
+}
+
+fn key_strategy() -> impl Strategy<Value = String> {
+    // Small alphabet: heavy prefix sharing and collisions.
+    "[abc]{1,10}"
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (key_strategy(), any::<u32>()).prop_map(|(k, v)| Op::Insert(k, v)),
+        2 => key_strategy().prop_map(Op::Remove),
+        2 => key_strategy().prop_map(Op::Get),
+        1 => (key_strategy(), any::<u32>()).prop_map(|(k, v)| Op::GetMutAdd(k, v)),
+        1 => (key_strategy(), key_strategy()).prop_map(|(a, b)| Op::Range(a, b)),
+    ]
+}
+
+fn enc(s: &str) -> Vec<u8> {
+    hot_keys::str_key(s.as_bytes()).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn matches_btreemap(ops in prop::collection::vec(op_strategy(), 1..300)) {
+        let mut map: HotMap<u32> = HotMap::new();
+        let mut model: BTreeMap<Vec<u8>, u32> = BTreeMap::new();
+        for op in ops {
+            match op {
+                Op::Insert(k, v) => {
+                    prop_assert_eq!(map.insert(&enc(&k), v), model.insert(enc(&k), v));
+                }
+                Op::Remove(k) => {
+                    prop_assert_eq!(map.remove(&enc(&k)), model.remove(&enc(&k)));
+                }
+                Op::Get(k) => {
+                    prop_assert_eq!(map.get(&enc(&k)), model.get(&enc(&k)));
+                }
+                Op::GetMutAdd(k, delta) => {
+                    let a = map.get_mut(&enc(&k)).map(|v| {
+                        *v = v.wrapping_add(delta);
+                        *v
+                    });
+                    let b = model.get_mut(&enc(&k)).map(|v| {
+                        *v = v.wrapping_add(delta);
+                        *v
+                    });
+                    prop_assert_eq!(a, b);
+                }
+                Op::Range(a, b) => {
+                    let (lo, hi) = if enc(&a) <= enc(&b) { (enc(&a), enc(&b)) } else { (enc(&b), enc(&a)) };
+                    let got: Vec<(Vec<u8>, u32)> = map
+                        .range(&lo, &hi)
+                        .map(|(k, &v)| (k.to_vec(), v))
+                        .collect();
+                    let want: Vec<(Vec<u8>, u32)> = model
+                        .range(lo..hi)
+                        .map(|(k, &v)| (k.clone(), v))
+                        .collect();
+                    prop_assert_eq!(got, want);
+                }
+            }
+            prop_assert_eq!(map.len(), model.len());
+        }
+        map.validate();
+        let got: Vec<(Vec<u8>, u32)> = map.iter().map(|(k, &v)| (k.to_vec(), v)).collect();
+        let want: Vec<(Vec<u8>, u32)> = model.iter().map(|(k, &v)| (k.clone(), v)).collect();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn drop_semantics_under_churn(
+        keys in prop::collection::vec(key_strategy(), 1..100),
+    ) {
+        // Every inserted Rc must be released exactly once across upserts,
+        // removals and the final drop.
+        use std::rc::Rc;
+        let probe = Rc::new(());
+        {
+            let mut map: HotMap<Rc<()>> = HotMap::new();
+            let mut live = std::collections::BTreeSet::new();
+            for (i, k) in keys.iter().enumerate() {
+                if i % 3 == 2 {
+                    map.remove(&enc(k));
+                    live.remove(&enc(k));
+                } else {
+                    map.insert(&enc(k), Rc::clone(&probe));
+                    live.insert(enc(k));
+                }
+                prop_assert_eq!(Rc::strong_count(&probe), live.len() + 1);
+            }
+        }
+        prop_assert_eq!(Rc::strong_count(&probe), 1);
+    }
+}

@@ -1,0 +1,108 @@
+//! Property tests: the Patricia trie behaves exactly like an ordered map
+//! over prefix-free keys (the `BTreeMap` model), for arbitrary operation
+//! sequences. This matters doubly because the trie is itself the reference
+//! model for the HOT property suite.
+
+use hot_keys::{encode_u64, ArenaKeySource, EmbeddedKeySource};
+use hot_patricia::PatriciaTree;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u64),
+    Remove(u64),
+    Get(u64),
+    RangeFrom(u64),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    // Small key domain to provoke collisions, removals of present keys, etc.
+    let key = 0u64..5000;
+    prop_oneof![
+        4 => key.clone().prop_map(Op::Insert),
+        2 => key.clone().prop_map(Op::Remove),
+        2 => key.clone().prop_map(Op::Get),
+        1 => key.prop_map(Op::RangeFrom),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn matches_btreemap_model(ops in prop::collection::vec(op_strategy(), 1..400)) {
+        let mut tree = PatriciaTree::new(EmbeddedKeySource);
+        let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+
+        for op in ops {
+            match op {
+                Op::Insert(k) => {
+                    let old = tree.insert(&encode_u64(k), k);
+                    let model_old = model.insert(k, k);
+                    prop_assert_eq!(old, model_old);
+                }
+                Op::Remove(k) => {
+                    let removed = tree.remove(&encode_u64(k));
+                    let model_removed = model.remove(&k);
+                    prop_assert_eq!(removed, model_removed);
+                }
+                Op::Get(k) => {
+                    prop_assert_eq!(tree.get(&encode_u64(k)), model.get(&k).copied());
+                }
+                Op::RangeFrom(k) => {
+                    let got: Vec<u64> = tree.range_from(&encode_u64(k)).take(20).collect();
+                    let want: Vec<u64> = model.range(k..).take(20).map(|(_, &v)| v).collect();
+                    prop_assert_eq!(got, want);
+                }
+            }
+            prop_assert_eq!(tree.len(), model.len());
+        }
+
+        // Full iteration equals the model's order.
+        let got: Vec<u64> = tree.iter().collect();
+        let want: Vec<u64> = model.values().copied().collect();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn string_keys_match_model(
+        words in prop::collection::vec("[a-z]{1,12}", 1..60),
+        probe in "[a-z]{1,12}",
+    ) {
+        let mut arena = ArenaKeySource::new();
+        let encoded: Vec<Vec<u8>> = words
+            .iter()
+            .map(|w| hot_keys::str_key(w.as_bytes()).unwrap())
+            .collect();
+        let tids: Vec<u64> = encoded.iter().map(|k| arena.push(k)).collect();
+        let mut model: BTreeMap<Vec<u8>, u64> = BTreeMap::new();
+        let mut tree = PatriciaTree::new(&arena);
+        for (k, &tid) in encoded.iter().zip(&tids) {
+            tree.insert(k, tid);
+            model.insert(k.clone(), tid); // later duplicate wins in both
+        }
+        prop_assert_eq!(tree.len(), model.len());
+        for (k, &tid) in &model {
+            prop_assert_eq!(tree.get(k), Some(tid));
+        }
+        let probe_key = hot_keys::str_key(probe.as_bytes()).unwrap();
+        prop_assert_eq!(tree.get(&probe_key), model.get(&probe_key).copied());
+        let got: Vec<u64> = tree.range_from(&probe_key).collect();
+        let want: Vec<u64> = model.range(probe_key..).map(|(_, &v)| v).collect();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn patricia_invariant_n_minus_one_binodes(keys in prop::collection::btree_set(any::<u64>(), 1..200)) {
+        let mut tree = PatriciaTree::new(EmbeddedKeySource);
+        for &k in &keys {
+            tree.insert(&encode_u64(k & hot_keys::MAX_TID), k & hot_keys::MAX_TID);
+        }
+        let distinct: std::collections::BTreeSet<u64> =
+            keys.iter().map(|&k| k & hot_keys::MAX_TID).collect();
+        let stats = tree.memory_stats();
+        prop_assert_eq!(stats.node_count, 2 * distinct.len() - 1);
+        prop_assert_eq!(stats.key_count, distinct.len());
+    }
+}

@@ -1,0 +1,65 @@
+//! Quickstart: the three ways to use HOT.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use hot_core::sync::ConcurrentHot;
+use hot_core::{HotMap, HotTrie};
+use hot_keys::{encode_u64, str_key, EmbeddedKeySource};
+use std::sync::Arc;
+
+fn main() {
+    // ── 1. HotMap: a self-contained ordered map ────────────────────────────
+    // Keys are byte strings; use the prefix-free encoders for strings.
+    let mut map = HotMap::new();
+    map.insert(&str_key(b"vienna").unwrap(), 1_897_000u64);
+    map.insert(&str_key(b"innsbruck").unwrap(), 132_000);
+    map.insert(&str_key(b"munich").unwrap(), 1_488_000);
+    map.insert(&str_key(b"graz").unwrap(), 291_000);
+
+    println!("population of graz: {:?}", map.get(&str_key(b"graz").unwrap()));
+    println!("cities from 'i' onward:");
+    for (key, pop) in map.range_from(&str_key(b"i").unwrap()) {
+        let name = std::str::from_utf8(&key[..key.len() - 1]).unwrap();
+        println!("  {name}: {pop}");
+    }
+
+    // ── 2. HotTrie: the paper-style TID index ──────────────────────────────
+    // The index stores only discriminative bits; integer keys up to 63 bits
+    // are embedded directly in the TID, so the index is all there is.
+    let mut trie = HotTrie::new(EmbeddedKeySource);
+    for value in [42u64, 7, 1 << 40, 123_456_789] {
+        trie.insert(&encode_u64(value), value);
+    }
+    assert_eq!(trie.get(&encode_u64(7)), Some(7));
+    assert_eq!(trie.get(&encode_u64(8)), None);
+    println!(
+        "\ninteger index: {} keys in {} bytes ({:.1} bytes/key), height {}",
+        trie.len(),
+        trie.memory_stats().total_bytes(),
+        trie.memory_stats().bytes_per_key(),
+        trie.height(),
+    );
+    let ordered: Vec<u64> = trie.iter().collect();
+    println!("in key order: {ordered:?}");
+
+    // ── 3. ConcurrentHot: the ROWEX-synchronized index (Section 5) ─────────
+    let shared = Arc::new(ConcurrentHot::new(EmbeddedKeySource));
+    std::thread::scope(|scope| {
+        for t in 0..4u64 {
+            let shared = Arc::clone(&shared);
+            scope.spawn(move || {
+                for i in (t..10_000).step_by(4) {
+                    shared.insert(&encode_u64(i), i);
+                }
+            });
+        }
+    });
+    println!(
+        "\nconcurrent index: {} keys, lookup(4242) = {:?}",
+        shared.len(),
+        shared.get(&encode_u64(4242))
+    );
+    assert_eq!(shared.len(), 10_000);
+}

@@ -1,0 +1,12 @@
+//! Umbrella crate for the HOT reproduction: re-exports every workspace
+//! crate under one roof for the examples and integration tests.
+
+pub use hot_art as art;
+pub use hot_bench as bench;
+pub use hot_bits as bits;
+pub use hot_btree as btree;
+pub use hot_core as core;
+pub use hot_keys as keys;
+pub use hot_masstree as masstree;
+pub use hot_patricia as patricia;
+pub use hot_ycsb as ycsb;

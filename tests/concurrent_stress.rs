@@ -1,0 +1,162 @@
+//! Heavy concurrent stress for the ROWEX-synchronized HOT: string keys
+//! through a shared arena, mixed inserts/removes/lookups/scans, full
+//! validation after quiesce, and equivalence with the single-threaded trie.
+
+use hot_bench::BenchData;
+use hot_core::sync::ConcurrentHot;
+use hot_core::HotTrie;
+use hot_ycsb::{Dataset, DatasetKind};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+#[test]
+fn concurrent_url_load_equals_single_threaded() {
+    let n = 30_000;
+    let data = BenchData::new(Dataset::generate(DatasetKind::Url, n, 21));
+    let concurrent = Arc::new(ConcurrentHot::new(Arc::clone(&data.arena)));
+    let keys = Arc::new(data.dataset.keys.clone());
+    let tids = Arc::new(data.tids.clone());
+
+    std::thread::scope(|scope| {
+        for t in 0..6 {
+            let concurrent = Arc::clone(&concurrent);
+            let keys = Arc::clone(&keys);
+            let tids = Arc::clone(&tids);
+            scope.spawn(move || {
+                let mut i = t;
+                while i < n {
+                    concurrent.insert(&keys[i], tids[i]);
+                    i += 6;
+                }
+            });
+        }
+    });
+    assert_eq!(concurrent.len(), n);
+    concurrent.validate();
+
+    let mut single = HotTrie::new(Arc::clone(&data.arena));
+    for i in 0..n {
+        single.insert(&data.dataset.keys[i], data.tids[i]);
+    }
+    // Determinism across synchronization modes: same final structure.
+    assert_eq!(concurrent.depth_stats(), single.depth_stats());
+    assert_eq!(
+        concurrent.memory_stats().node_count,
+        single.memory_stats().node_count
+    );
+    // Same contents in the same order.
+    let concurrent_all = concurrent.scan(&[], n + 1);
+    assert_eq!(concurrent_all, single.iter().collect::<Vec<_>>());
+}
+
+#[test]
+fn mixed_operations_with_wait_free_readers() {
+    let n = 20_000;
+    let data = BenchData::new(Dataset::generate(DatasetKind::Email, n, 23));
+    let trie = Arc::new(ConcurrentHot::new(Arc::clone(&data.arena)));
+    let keys = Arc::new(data.dataset.keys.clone());
+    let tids = Arc::new(data.tids.clone());
+
+    // A permanent backbone (first quarter) that writers never touch.
+    let backbone = n / 4;
+    for i in 0..backbone {
+        trie.insert(&keys[i], tids[i]);
+    }
+    let stop = Arc::new(AtomicBool::new(false));
+
+    std::thread::scope(|scope| {
+        // Churning writers over the other three quarters.
+        for t in 0..3u64 {
+            let trie = Arc::clone(&trie);
+            let keys = Arc::clone(&keys);
+            let tids = Arc::clone(&tids);
+            let stop = Arc::clone(&stop);
+            scope.spawn(move || {
+                let mut x = 0xABCD_EF01u64 ^ t;
+                while !stop.load(Ordering::Relaxed) {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    let i = backbone + (x as usize % (n - backbone));
+                    if x % 3 == 0 {
+                        trie.remove(&keys[i]);
+                    } else {
+                        trie.insert(&keys[i], tids[i]);
+                    }
+                }
+            });
+        }
+        // Readers: backbone always visible; scans always sorted.
+        for t in 0..2u64 {
+            let trie = Arc::clone(&trie);
+            let keys = Arc::clone(&keys);
+            let tids = Arc::clone(&tids);
+            let stop = Arc::clone(&stop);
+            let arena = Arc::clone(&data.arena);
+            scope.spawn(move || {
+                let mut x = 0x1357_9BDFu64 ^ t;
+                let mut scratch = [0u8; hot_keys::KEY_SCRATCH_LEN];
+                while !stop.load(Ordering::Relaxed) {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    let i = x as usize % backbone;
+                    assert_eq!(trie.get(&keys[i]), Some(tids[i]), "backbone lost");
+                    if x % 7 == 0 {
+                        let window = trie.scan(&keys[i], 20);
+                        // Sorted by key (resolve via the arena).
+                        use hot_keys::KeySource;
+                        let mut prev: Option<Vec<u8>> = None;
+                        for tid in window {
+                            let k = arena.load_key(tid, &mut scratch).to_vec();
+                            if let Some(p) = &prev {
+                                assert!(*p < k, "scan out of order");
+                            }
+                            prev = Some(k);
+                        }
+                    }
+                }
+            });
+        }
+        std::thread::sleep(std::time::Duration::from_millis(400));
+        stop.store(true, Ordering::Relaxed);
+    });
+
+    trie.validate();
+    for i in 0..backbone {
+        assert_eq!(trie.get(&keys[i]), Some(tids[i]));
+    }
+}
+
+#[test]
+fn concurrent_removes_to_empty() {
+    let n = 10_000usize;
+    let data = BenchData::new(Dataset::generate(DatasetKind::Integer, n, 29));
+    let trie = Arc::new(ConcurrentHot::new(Arc::clone(&data.arena)));
+    for i in 0..n {
+        trie.insert(&data.dataset.keys[i], data.tids[i]);
+    }
+    let keys = Arc::new(data.dataset.keys.clone());
+    std::thread::scope(|scope| {
+        for t in 0..4 {
+            let trie = Arc::clone(&trie);
+            let keys = Arc::clone(&keys);
+            scope.spawn(move || {
+                let mut removed = 0;
+                let mut i = t;
+                while i < n {
+                    if trie.remove(&keys[i]).is_some() {
+                        removed += 1;
+                    }
+                    i += 4;
+                }
+                removed
+            });
+        }
+    });
+    assert_eq!(trie.len(), 0);
+    assert!(trie.is_empty());
+    for i in (0..n).step_by(53) {
+        assert_eq!(trie.get(&data.dataset.keys[i]), None);
+    }
+}

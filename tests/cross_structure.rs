@@ -1,0 +1,136 @@
+//! Cross-crate integration: all index structures must agree exactly — on
+//! every data set, for point lookups, ordered iteration and range scans —
+//! and the YCSB harness must drive them identically.
+
+use hot_bench::{all_indexes, BenchData};
+use hot_ycsb::{Dataset, DatasetKind, Operation, RequestDistribution, Workload, WorkloadRun};
+use std::collections::BTreeMap;
+
+const N: usize = 20_000;
+
+#[test]
+fn all_structures_agree_on_all_datasets() {
+    for kind in DatasetKind::ALL {
+        let data = BenchData::new(Dataset::generate(kind, N, 11));
+        let mut indexes = all_indexes(&data.arena);
+        let mut model: BTreeMap<Vec<u8>, u64> = BTreeMap::new();
+        for i in 0..N {
+            for index in indexes.iter_mut() {
+                index.insert(&data.dataset.keys[i], data.tids[i]);
+            }
+            model.insert(data.dataset.keys[i].clone(), data.tids[i]);
+        }
+
+        // Point lookups: every stored key, plus misses.
+        for (i, key) in data.dataset.keys.iter().enumerate().step_by(37) {
+            for index in &indexes {
+                assert_eq!(
+                    index.get(key),
+                    Some(data.tids[i]),
+                    "{} lookup on {:?}",
+                    index.name(),
+                    kind
+                );
+            }
+        }
+        let missing = vec![0xFEu8; 12];
+        for index in &indexes {
+            assert_eq!(index.get(&missing), None, "{} miss", index.name());
+        }
+
+        // Scans from random probes: identical result counts across
+        // structures (contents checked against the model).
+        let mut probe_sources = data.dataset.keys.iter().step_by(97);
+        for probe in probe_sources.by_ref().take(30) {
+            let want = model.range(probe.clone()..).take(50).count();
+            for index in &indexes {
+                assert_eq!(
+                    index.scan(probe, 50),
+                    want,
+                    "{} scan from {:?} on {:?}",
+                    index.name(),
+                    probe,
+                    kind
+                );
+            }
+        }
+
+        // Memory accounting sanity: every index reports a plausible
+        // footprint and the right key count.
+        for index in &indexes {
+            let stats = index.memory();
+            assert_eq!(stats.key_count, N, "{}", index.name());
+            assert!(stats.node_bytes > 0, "{}", index.name());
+            let bpk = stats.bytes_per_key();
+            assert!(
+                bpk > 1.0 && bpk < 2_000.0,
+                "{} bytes/key {bpk}",
+                index.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn ycsb_workloads_produce_identical_effects() {
+    // Run the same operation stream against every structure and the model;
+    // afterwards all must contain exactly the same key set.
+    let kind = DatasetKind::Email;
+    for workload in Workload::ALL {
+        let run = WorkloadRun::new(workload, RequestDistribution::Zipfian, N / 2, N, 13);
+        let data = BenchData::new(Dataset::generate(kind, N / 2 + run.reserve_keys(), 13));
+        let mut indexes = all_indexes(&data.arena);
+        let mut model: BTreeMap<Vec<u8>, u64> = BTreeMap::new();
+        for i in 0..N / 2 {
+            for index in indexes.iter_mut() {
+                index.insert(&data.dataset.keys[i], data.tids[i]);
+            }
+            model.insert(data.dataset.keys[i].clone(), data.tids[i]);
+        }
+        for op in run.operations() {
+            match op {
+                Operation::Read(idx) | Operation::ReadModifyWrite(idx) => {
+                    let key = &data.dataset.keys[idx];
+                    let want = model.get(key).copied();
+                    for index in &indexes {
+                        assert_eq!(index.get(key), want, "{} {workload:?}", index.name());
+                    }
+                }
+                Operation::Update(idx) | Operation::Insert(idx) => {
+                    let key = &data.dataset.keys[idx];
+                    for index in indexes.iter_mut() {
+                        index.insert(key, data.tids[idx]);
+                    }
+                    model.insert(key.clone(), data.tids[idx]);
+                }
+                Operation::Scan(idx, len) => {
+                    let key = &data.dataset.keys[idx];
+                    let want = model.range(key.clone()..).take(len).count();
+                    for index in &indexes {
+                        assert_eq!(index.scan(key, len), want, "{} {workload:?}", index.name());
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn depth_statistics_are_consistent() {
+    // Leaf counts in the depth histograms must equal the key count, for
+    // every structure and data set.
+    for kind in [DatasetKind::Integer, DatasetKind::Url] {
+        let data = BenchData::new(Dataset::generate(kind, 5_000, 17));
+        let mut indexes = all_indexes(&data.arena);
+        for i in 0..5_000 {
+            for index in indexes.iter_mut() {
+                index.insert(&data.dataset.keys[i], data.tids[i]);
+            }
+        }
+        for index in &indexes {
+            let depth = index.depth();
+            assert_eq!(depth.total(), 5_000, "{} on {:?}", index.name(), kind);
+            assert!(depth.mean_depth() >= 1.0, "{}", index.name());
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! Scaled-down assertions of the paper's quantitative claims, run as tests
+//! so regressions in any structure surface immediately. The full-scale
+//! reproductions live in `hot-bench`'s figure binaries; these check the
+//! *shape* at 20–50 k keys.
+
+use hot_bench::BenchData;
+use hot_ycsb::{Dataset, DatasetKind};
+use std::sync::Arc;
+
+/// Section 6.3: "HOT has a very stable memory footprint, which for all
+/// evaluated data sets lies between 11.4 and 14.4 bytes per key." We allow
+/// a slightly wider band at small scale.
+#[test]
+fn hot_memory_band_per_dataset() {
+    for kind in DatasetKind::ALL {
+        let data = BenchData::new(Dataset::generate(kind, 50_000, 31));
+        let mut hot = hot_core::HotTrie::new(Arc::clone(&data.arena));
+        for i in 0..data.dataset.keys.len() {
+            hot.insert(&data.dataset.keys[i], data.tids[i]);
+        }
+        let bpk = hot.memory_stats().bytes_per_key();
+        assert!(
+            (9.0..18.0).contains(&bpk),
+            "{kind:?}: {bpk:.2} bytes/key outside the HOT band"
+        );
+    }
+}
+
+/// Section 6.3: HOT is the only trie whose footprint stays below the raw
+/// key size for both textual data sets.
+#[test]
+fn hot_smaller_than_raw_string_keys() {
+    for kind in [DatasetKind::Url, DatasetKind::Email] {
+        let data = BenchData::new(Dataset::generate(kind, 50_000, 37));
+        let mut hot = hot_core::HotTrie::new(Arc::clone(&data.arena));
+        for i in 0..data.dataset.keys.len() {
+            hot.insert(&data.dataset.keys[i], data.tids[i]);
+        }
+        assert!(
+            hot.memory_stats().total_bytes() < data.dataset.raw_key_bytes(),
+            "{kind:?}: index larger than raw keys"
+        );
+    }
+}
+
+/// Section 6.5 / Figure 11: HOT's mean leaf depth beats ART on the string
+/// data sets, loses to ART on uniform integers, and is far below binary
+/// Patricia everywhere.
+#[test]
+fn depth_ordering_matches_figure_11() {
+    let n = 50_000;
+    for kind in DatasetKind::ALL {
+        let data = BenchData::new(Dataset::generate(kind, n, 41));
+        let mut hot = hot_core::HotTrie::new(Arc::clone(&data.arena));
+        let mut art = hot_art::Art::new(Arc::clone(&data.arena));
+        let mut bin = hot_patricia::PatriciaTree::new(Arc::clone(&data.arena));
+        for i in 0..n {
+            hot.insert(&data.dataset.keys[i], data.tids[i]);
+            art.insert(&data.dataset.keys[i], data.tids[i]);
+            bin.insert(&data.dataset.keys[i], data.tids[i]);
+        }
+        let hot_mean = hot.depth_stats().mean_depth();
+        let art_mean = art.depth_stats().mean_depth();
+        let bin_mean = bin.depth_stats().mean_depth();
+        assert!(
+            hot_mean * 2.5 < bin_mean,
+            "{kind:?}: HOT {hot_mean:.2} not far below Patricia {bin_mean:.2}"
+        );
+        match kind {
+            DatasetKind::Url | DatasetKind::Email => assert!(
+                hot_mean < art_mean,
+                "{kind:?}: HOT {hot_mean:.2} vs ART {art_mean:.2}"
+            ),
+            DatasetKind::Integer => assert!(
+                art_mean < hot_mean,
+                "integer: ART {art_mean:.2} should beat HOT {hot_mean:.2}"
+            ),
+            DatasetKind::Yago => { /* close call at small scale; no assertion */ }
+        }
+    }
+}
+
+/// Section 3.3: like a B-tree, "the overall height of HOT only increases
+/// when a new root node is created" — check that height never jumps by
+/// more than one and only grows.
+#[test]
+fn height_grows_monotonically_by_one() {
+    let data = BenchData::new(Dataset::generate(DatasetKind::Integer, 30_000, 43));
+    let mut hot = hot_core::HotTrie::new(Arc::clone(&data.arena));
+    let mut last = 0usize;
+    for i in 0..data.dataset.keys.len() {
+        hot.insert(&data.dataset.keys[i], data.tids[i]);
+        let h = hot.height();
+        assert!(h == last || h == last + 1, "height jumped {last} -> {h}");
+        last = h;
+    }
+}
+
+/// Section 2 / Figure 2: a fanout-k tree over n keys cannot be shallower
+/// than log_k(n); HOT must stay within one level of that optimum for the
+/// uniform integer data set ("consistently high fanout").
+#[test]
+fn height_is_near_log32_optimal_for_integers() {
+    let n = 40_000usize;
+    let data = BenchData::new(Dataset::generate(DatasetKind::Integer, n, 47));
+    let mut hot = hot_core::HotTrie::new(Arc::clone(&data.arena));
+    for i in 0..n {
+        hot.insert(&data.dataset.keys[i], data.tids[i]);
+    }
+    let optimal = (n as f64).log(32.0).ceil() as usize; // 4 for 40k
+    assert!(
+        hot.height() <= optimal + 1,
+        "height {} vs optimal {optimal}",
+        hot.height()
+    );
+}
+
+/// The B-tree baseline's defining property (Section 6.3): its footprint is
+/// independent of the key length.
+#[test]
+fn bt_memory_is_key_length_independent() {
+    let mut per_dataset = Vec::new();
+    for kind in DatasetKind::ALL {
+        let data = BenchData::new(Dataset::generate(kind, 30_000, 53));
+        let mut bt = hot_btree::BPlusTree::new(Arc::clone(&data.arena));
+        for i in 0..data.dataset.keys.len() {
+            bt.insert(&data.dataset.keys[i], data.tids[i]);
+        }
+        per_dataset.push(bt.memory_stats().bytes_per_key());
+    }
+    let min = per_dataset.iter().cloned().fold(f64::MAX, f64::min);
+    let max = per_dataset.iter().cloned().fold(f64::MIN, f64::max);
+    assert!(
+        max / min < 1.05,
+        "BT bytes/key varies across data sets: {per_dataset:?}"
+    );
+}
