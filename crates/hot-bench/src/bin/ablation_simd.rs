@@ -35,7 +35,7 @@ fn main() {
 
     for kind in [DatasetKind::Integer, DatasetKind::Email, DatasetKind::Url] {
         let data = BenchData::new(Dataset::generate(kind, config.keys, config.seed));
-        let mut index = HotIndex(hot_core::HotTrie::new(Arc::clone(&data.arena)));
+        let mut index = HotIndex::new(Arc::clone(&data.arena));
         let insert_mops = run_load(&mut index, &data, config.keys);
         let run = WorkloadRun::new(
             Workload::C,

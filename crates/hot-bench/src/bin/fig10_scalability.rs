@@ -20,6 +20,8 @@
 
 use hot_bench::{mops, row, BenchData, Config};
 use hot_core::sync::ConcurrentHot;
+use hot_core::BatchCursor;
+use hot_keys::PaddedKey;
 use hot_ycsb::{Dataset, DatasetKind};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -45,10 +47,12 @@ fn main() {
 
     let mut insert_base = None;
     let mut lookup_base = None;
+    let mut batch_base = None;
     for &threads in &config.threads {
-        let (insert_mops, lookup_mops) = run_with_threads(&data, threads, &config);
+        let (insert_mops, lookup_mops, batch_mops) = run_with_threads(&data, threads, &config);
         let ib = *insert_base.get_or_insert(insert_mops);
         let lb = *lookup_base.get_or_insert(lookup_mops);
+        let bb = *batch_base.get_or_insert(batch_mops);
         row(&[
             "insert".into(),
             threads.to_string(),
@@ -61,10 +65,16 @@ fn main() {
             format!("{lookup_mops:.3}"),
             format!("{:.2}", lookup_mops / lb),
         ]);
+        row(&[
+            "lookup_batch".into(),
+            threads.to_string(),
+            format!("{batch_mops:.3}"),
+            format!("{:.2}", batch_mops / bb),
+        ]);
     }
 }
 
-fn run_with_threads(data: &BenchData, threads: usize, config: &Config) -> (f64, f64) {
+fn run_with_threads(data: &BenchData, threads: usize, config: &Config) -> (f64, f64, f64) {
     let trie = Arc::new(ConcurrentHot::new(Arc::clone(&data.arena)));
     let keys = Arc::new(data.dataset.keys.clone());
     let tids = Arc::new(data.tids.clone());
@@ -89,7 +99,8 @@ fn run_with_threads(data: &BenchData, threads: usize, config: &Config) -> (f64, 
     let insert_mops = mops(n, start.elapsed().as_secs_f64());
     assert_eq!(trie.len(), n, "all inserts landed");
 
-    // Lookup phase: uniform random lookups, `ops` in total.
+    // Lookup phase: uniform random lookups, `ops` in total, each thread
+    // reusing one padded key buffer instead of re-zeroing a fresh one.
     let per_thread = config.ops / threads;
     let start = Instant::now();
     std::thread::scope(|scope| {
@@ -99,10 +110,11 @@ fn run_with_threads(data: &BenchData, threads: usize, config: &Config) -> (f64, 
             let seed = config.seed ^ (t as u64) << 32;
             scope.spawn(move || {
                 let mut rng = StdRng::seed_from_u64(seed);
+                let mut buf = PaddedKey::new();
                 let mut checksum = 0u64;
                 for _ in 0..per_thread {
                     let idx = rng.gen_range(0..n);
-                    if let Some(tid) = trie.get(&keys[idx]) {
+                    if let Some(tid) = trie.get_with(&keys[idx], &mut buf) {
                         checksum = checksum.wrapping_add(tid);
                     }
                 }
@@ -111,5 +123,36 @@ fn run_with_threads(data: &BenchData, threads: usize, config: &Config) -> (f64, 
         }
     });
     let lookup_mops = mops(per_thread * threads, start.elapsed().as_secs_f64());
-    (insert_mops, lookup_mops)
+
+    // Batched lookup phase: same uniform stream, resolved `batch` keys at a
+    // time through the memory-level-parallel descent (one epoch pin per
+    // call, per-thread cursor).
+    let batch = config.batch;
+    let groups = per_thread / batch;
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let trie = Arc::clone(&trie);
+            let keys = Arc::clone(&keys);
+            let seed = config.seed ^ (t as u64) << 32;
+            scope.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let mut cursor = BatchCursor::with_group(batch);
+                let mut probe: Vec<&[u8]> = Vec::with_capacity(batch);
+                let mut out: Vec<Option<u64>> = vec![None; batch];
+                let mut checksum = 0u64;
+                for _ in 0..groups {
+                    probe.clear();
+                    probe.extend((0..batch).map(|_| keys[rng.gen_range(0..n)].as_slice()));
+                    trie.get_batch_with(&probe, &mut out, &mut cursor);
+                    for tid in out.iter().flatten() {
+                        checksum = checksum.wrapping_add(*tid);
+                    }
+                }
+                std::hint::black_box(checksum);
+            });
+        }
+    });
+    let batch_mops = mops(groups * batch * threads, start.elapsed().as_secs_f64());
+    (insert_mops, lookup_mops, batch_mops)
 }

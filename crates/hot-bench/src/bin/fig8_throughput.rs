@@ -7,26 +7,45 @@
 //! and wins insert-only on all string data sets while ART leads on the
 //! integer data set (~1.5× over HOT).
 //!
+//! Beyond the paper, a `C_batch` row re-runs workload C through the batched
+//! read path (`BenchIndex::get_batch`, group size `--batch N`): HOT's
+//! memory-level-parallel descent vs. the baselines' scalar fallback. The
+//! scalar/batched pairs are also written to `results/BENCH_batch.json`.
+//! Checksums of the two paths are asserted equal.
+//!
 //! ```text
-//! cargo run --release -p hot-bench --bin fig8_throughput -- --keys 1000000 --ops 2000000
+//! cargo run --release -p hot-bench --bin fig8_throughput -- --keys 1000000 --ops 2000000 --batch 8
 //! ```
 
-use hot_bench::{all_indexes, row, run_load, run_transactions, BenchData, Config};
+use hot_bench::{
+    all_indexes, row, run_load, run_transactions, run_transactions_batched, BenchData, Config,
+};
 use hot_ycsb::{Dataset, DatasetKind, RequestDistribution, Workload, WorkloadRun};
+
+/// One scalar/batched workload-C pair for the JSON report.
+struct BatchRecord {
+    dataset: &'static str,
+    structure: &'static str,
+    scalar_mops: f64,
+    batched_mops: f64,
+}
 
 fn main() {
     let config = Config::from_args();
     println!(
-        "# Figure 8: throughput in Mops (keys={}, ops={}, seed={}, uniform distribution)",
-        config.keys, config.ops, config.seed
+        "# Figure 8: throughput in Mops (keys={}, ops={}, seed={}, uniform distribution, batch={})",
+        config.keys, config.ops, config.seed, config.batch
     );
     println!("# paper_shape: HOT highest on C and E for all data sets; insert-only: HOT highest on strings, ART ~1.5x HOT on integer");
+    println!("# C_batch: workload C through get_batch (group={}); HOT overlaps misses, baselines run the scalar fallback", config.batch);
     row(&[
         "workload".into(),
         "dataset".into(),
         "structure".into(),
         "mops".into(),
     ]);
+
+    let mut records: Vec<BatchRecord> = Vec::new();
 
     for kind in DatasetKind::ALL {
         // Reserve insert keys for workload E.
@@ -47,7 +66,8 @@ fn main() {
             // Insert-only = the load phase itself.
             let load_mops = run_load(index.as_mut(), &data, config.keys);
 
-            // Workload C (100% lookup).
+            // Workload C (100% lookup), scalar then batched over the same
+            // read-only stream.
             let c_run = WorkloadRun::new(
                 Workload::C,
                 RequestDistribution::Uniform,
@@ -56,6 +76,12 @@ fn main() {
                 config.seed,
             );
             let (c_mops, c_sum) = run_transactions(index.as_mut(), &data, &c_run);
+            let (cb_mops, cb_sum) =
+                run_transactions_batched(index.as_mut(), &data, &c_run, config.batch);
+            assert_eq!(
+                c_sum, cb_sum,
+                "batched lookups must resolve the same TIDs as scalar ones"
+            );
 
             // Workload E (95% scan / 5% insert).
             let (e_mops, e_sum) = run_transactions(index.as_mut(), &data, &e_run);
@@ -65,6 +91,12 @@ fn main() {
                 kind.label().into(),
                 index.name().into(),
                 format!("{c_mops:.3}"),
+            ]);
+            row(&[
+                "C_batch".into(),
+                kind.label().into(),
+                index.name().into(),
+                format!("{cb_mops:.3}"),
             ]);
             row(&[
                 "E".into(),
@@ -78,6 +110,12 @@ fn main() {
                 index.name().into(),
                 format!("{load_mops:.3}"),
             ]);
+            records.push(BatchRecord {
+                dataset: kind.label(),
+                structure: index.name(),
+                scalar_mops: c_mops,
+                batched_mops: cb_mops,
+            });
             // Keep checksums observable so the compiler cannot drop work.
             eprintln!(
                 "# {} {}: checksums C={c_sum:x} E={e_sum:x}",
@@ -85,5 +123,39 @@ fn main() {
                 index.name()
             );
         }
+    }
+
+    write_batch_json(&config, &records);
+}
+
+/// Hand-rolled JSON (no serde in the workspace): scalar vs. batched
+/// workload-C throughput per (dataset, structure).
+fn write_batch_json(config: &Config, records: &[BatchRecord]) {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"fig8_workload_C_batched\",\n");
+    out.push_str(&format!(
+        "  \"keys\": {}, \"ops\": {}, \"seed\": {}, \"batch\": {},\n",
+        config.keys, config.ops, config.seed, config.batch
+    ));
+    out.push_str("  \"rows\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"dataset\": \"{}\", \"structure\": \"{}\", \"scalar_mops\": {:.3}, \"batched_mops\": {:.3}}}{}\n",
+            r.dataset,
+            r.structure,
+            r.scalar_mops,
+            r.batched_mops,
+            if i + 1 < records.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    if let Err(e) = std::fs::create_dir_all("results")
+        .and_then(|()| std::fs::write("results/BENCH_batch.json", &out))
+    {
+        // Results are advisory; a read-only checkout should not fail the run.
+        eprintln!("# could not write results/BENCH_batch.json: {e}");
+    } else {
+        eprintln!("# wrote results/BENCH_batch.json");
     }
 }

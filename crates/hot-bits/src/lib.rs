@@ -68,3 +68,46 @@ pub fn prefetch_node(ptr: *const u8, lines: usize) {
         let _ = (ptr, lines);
     }
 }
+
+/// Prefetch the single cache line containing `ptr` into all cache levels.
+///
+/// Used by the batched-lookup engine to overlap the *next* dependent load of
+/// every in-flight descent (node headers, tuple key records) while other
+/// group members execute; see `hot_core::batch`. On non-x86 targets this is
+/// a no-op.
+#[inline(always)]
+pub fn prefetch_read(ptr: *const u8) {
+    #[cfg(target_arch = "x86_64")]
+    // SAFETY: _mm_prefetch is architecturally a hint and cannot fault.
+    unsafe {
+        core::arch::x86_64::_mm_prefetch::<{ core::arch::x86_64::_MM_HINT_T0 }>(ptr as *const i8);
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        let _ = ptr;
+    }
+}
+
+#[cfg(test)]
+mod prefetch_tests {
+    use super::{prefetch_node, prefetch_read};
+
+    #[test]
+    fn prefetch_is_a_pure_hint() {
+        // Prefetching must never fault or mutate — including on dangling,
+        // null, and unaligned addresses (descents prefetch speculatively).
+        let data = [0xA5u8; 256];
+        prefetch_read(data.as_ptr());
+        prefetch_read(data.as_ptr().wrapping_add(3));
+        prefetch_read(std::ptr::null());
+        prefetch_read(usize::MAX as *const u8);
+        prefetch_node(data.as_ptr(), 4);
+        prefetch_node(std::ptr::null(), 4);
+        assert!(data.iter().all(|&b| b == 0xA5));
+    }
+
+    #[test]
+    fn prefetch_zero_lines_is_noop() {
+        prefetch_node([1u8].as_ptr(), 0);
+    }
+}

@@ -40,11 +40,13 @@
 
 #![deny(missing_docs)]
 
+pub mod batch;
 pub mod map;
 pub mod node;
 pub mod sync;
 pub mod trie;
 
+pub use batch::{BatchCursor, DEFAULT_GROUP};
 pub use map::HotMap;
 pub use node::{MemCounter, NodeRef, NodeTag, MAX_FANOUT};
 pub use trie::HotTrie;

@@ -840,10 +840,10 @@ impl RawNode {
                     let byte = (pos / 8) as u8;
                     let offsets = self.multi_offsets(slots);
                     let mut found = None;
-                    for sl in 0..slots {
+                    for (sl, &off) in offsets.iter().enumerate() {
                         let word = self.multi_mask_word(slots, sl / 8);
                         let mask_byte = (word >> (8 * (7 - sl % 8))) as u8;
-                        if mask_byte != 0 && offsets[sl] == byte {
+                        if mask_byte != 0 && off == byte {
                             found = Some((sl, mask_byte | (1u8 << (7 - pos % 8))));
                             break;
                         }
@@ -1213,8 +1213,8 @@ mod tests {
         node.fill(&positions, &sparse, &values);
         assert_eq!(node.positions(), positions);
         assert_eq!(node.min_position(), 0);
-        for i in 0..n {
-            assert_eq!(node.sparse_key(i), sparse[i]);
+        for (i, &sk) in sparse.iter().enumerate() {
+            assert_eq!(node.sparse_key(i), sk);
         }
         unsafe { node.free(&mem) };
     }
@@ -1353,7 +1353,7 @@ mod tests {
             assert_eq!(node.positions(), positions);
             for i in 0..4 {
                 assert_eq!(node.sparse_key(i), sparse[i]);
-                assert_eq!(node.value(i).0, values[i as usize]);
+                assert_eq!(node.value(i).0, values[i]);
             }
             assert_eq!(node.lock_word().load(Ordering::Relaxed), 0, "lock starts clear");
             unsafe { node.free(&mem) };

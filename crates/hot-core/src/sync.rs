@@ -159,13 +159,25 @@ impl<S: KeySource> ConcurrentHot<S> {
 
     /// Wait-free lookup (Listing 2): no locks, no restarts.
     pub fn get(&self, key: &[u8]) -> Option<u64> {
-        let _guard = epoch::pin();
         let padded = PaddedKey::from_key(key);
+        self.get_padded(&padded)
+    }
+
+    /// Like [`get`](Self::get) with a caller-provided padded-key buffer
+    /// (avoids re-zeroing a fresh 264-byte buffer per call in tight loops),
+    /// mirroring [`HotTrie::get_with`](crate::HotTrie::get_with).
+    pub fn get_with(&self, key: &[u8], buf: &mut PaddedKey) -> Option<u64> {
+        buf.set(key);
+        self.get_padded(buf)
+    }
+
+    fn get_padded(&self, key: &PaddedKey) -> Option<u64> {
+        let _guard = epoch::pin();
         let mut cur = self.load_root();
         while cur.is_node() {
             let raw = cur.as_raw();
             hot_bits::prefetch_node(raw.base, 4);
-            let (_, next) = raw.find_candidate(padded.padded());
+            let (_, next) = raw.find_candidate(key.padded());
             cur = next;
         }
         if cur.is_null() {
@@ -174,7 +186,48 @@ impl<S: KeySource> ConcurrentHot<S> {
         let tid = cur.tid();
         let mut scratch = [0u8; KEY_SCRATCH_LEN];
         let stored = self.source.load_key(tid, &mut scratch);
-        hot_bits::first_mismatch_bit(stored, key).is_none().then_some(tid)
+        hot_bits::first_mismatch_bit(stored, key.bytes()).is_none().then_some(tid)
+    }
+
+    /// Look up `keys` as one batch under a **single** epoch pin, writing
+    /// `keys.len()` results into `out` (`out[i]` answers `keys[i]` exactly
+    /// as [`get`](Self::get) would).
+    ///
+    /// Descents proceed in software-pipelined groups (see [`crate::batch`])
+    /// whose padded-key buffers live in the cursor and are reused across
+    /// the whole call, so neither the per-lookup `epoch::pin()` nor the
+    /// 264-byte buffer zeroing of the scalar path is paid per key. Each
+    /// group re-reads the root, so the batch observes writers at group
+    /// granularity; each individual result is still exactly some
+    /// linearized point-in-time answer, as for scalar `get`.
+    ///
+    /// # Panics
+    /// Panics if `keys` and `out` differ in length.
+    pub fn get_batch<K: AsRef<[u8]>>(&self, keys: &[K], out: &mut [Option<u64>]) {
+        let mut cursor = crate::batch::BatchCursor::new();
+        self.get_batch_with(keys, out, &mut cursor);
+    }
+
+    /// Like [`get_batch`](Self::get_batch) with a caller-provided
+    /// [`BatchCursor`](crate::BatchCursor), amortizing its buffers (and
+    /// fixing the group size) across many batches.
+    ///
+    /// # Panics
+    /// Panics if `keys` and `out` differ in length.
+    pub fn get_batch_with<K: AsRef<[u8]>>(
+        &self,
+        keys: &[K],
+        out: &mut [Option<u64>],
+        cursor: &mut crate::batch::BatchCursor,
+    ) {
+        assert_eq!(keys.len(), out.len(), "one output slot per key");
+        let _guard = epoch::pin();
+        let group = cursor.group();
+        for (kc, oc) in keys.chunks(group).zip(out.chunks_mut(group)) {
+            // Reload the root per group: long batches must not pin one
+            // stale root while writers replace it underneath.
+            cursor.run_group(self.load_root(), &self.source, kc, oc);
+        }
     }
 
     /// Whether `key` is present.
@@ -189,17 +242,21 @@ impl<S: KeySource> ConcurrentHot<S> {
     pub fn scan(&self, key: &[u8], limit: usize) -> Vec<u64> {
         let _guard = epoch::pin();
         let padded = PaddedKey::from_key(key);
-        let mut out = Vec::with_capacity(limit.min(128));
+        // Cap the pre-size by the trie's population: short scans on small
+        // tries must not over-allocate (`len()` is a racy lower bound under
+        // concurrent inserts, which only costs a Vec regrow, never results).
+        let mut out = Vec::with_capacity(limit.min(128).min(self.len()));
         if limit == 0 {
             return out;
         }
+        // One scratch key buffer reused for every frame of the scan.
+        let mut scratch = [0u8; KEY_SCRATCH_LEN];
 
         let root = self.load_root();
         if root.is_null() {
             return out;
         }
         if root.is_leaf() {
-            let mut scratch = [0u8; KEY_SCRATCH_LEN];
             if self.source.load_key(root.tid(), &mut scratch) >= key {
                 out.push(root.tid());
             }
@@ -216,7 +273,6 @@ impl<S: KeySource> ConcurrentHot<S> {
             path.push((cur, idx));
             cur = next;
         }
-        let mut scratch = [0u8; KEY_SCRATCH_LEN];
         let mismatch = if cur.is_leaf() {
             let stored = self.source.load_key(cur.tid(), &mut scratch);
             hot_bits::first_mismatch_bit(stored, key)
@@ -1055,7 +1111,7 @@ mod tests {
                         x ^= x >> 7;
                         x ^= x << 17;
                         let k = x % 10_000 + 1; // offset: never a backbone key
-                        if x % 3 == 0 {
+                        if x.is_multiple_of(3) {
                             trie.remove(&encode_u64(k));
                         } else {
                             trie.insert(&encode_u64(k), k);
@@ -1103,7 +1159,7 @@ mod tests {
         }
         let concurrent_leaves: Vec<u64> = {
             // Collect leaves in order via scans.
-            trie.scan(&[], usize::MAX.min(10_000))
+            trie.scan(&[], 10_000)
         };
         assert_eq!(concurrent_leaves, st.iter().collect::<Vec<_>>());
         assert_eq!(trie.depth_stats(), st.depth_stats());

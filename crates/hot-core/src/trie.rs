@@ -114,6 +114,43 @@ impl<S: KeySource> HotTrie<S> {
         }
     }
 
+    /// Look up `keys` as one batch, writing `keys.len()` results into
+    /// `out` (`out[i]` answers `keys[i]`, exactly as [`get`](Self::get)
+    /// would).
+    ///
+    /// Descents proceed in software-pipelined groups of
+    /// [`DEFAULT_GROUP`](crate::DEFAULT_GROUP) with each lane's next node
+    /// prefetched while the other lanes advance, so the dependent cache
+    /// misses of up to G lookups overlap instead of serializing — see
+    /// [`crate::batch`]. Results are byte-for-byte identical to calling
+    /// `get` per key.
+    ///
+    /// # Panics
+    /// Panics if `keys` and `out` differ in length.
+    pub fn get_batch<K: AsRef<[u8]>>(&self, keys: &[K], out: &mut [Option<u64>]) {
+        let mut cursor = crate::batch::BatchCursor::new();
+        self.get_batch_with(keys, out, &mut cursor);
+    }
+
+    /// Like [`get_batch`](Self::get_batch) with a caller-provided
+    /// [`BatchCursor`](crate::BatchCursor), amortizing its buffers (and
+    /// fixing the group size) across many batches.
+    ///
+    /// # Panics
+    /// Panics if `keys` and `out` differ in length.
+    pub fn get_batch_with<K: AsRef<[u8]>>(
+        &self,
+        keys: &[K],
+        out: &mut [Option<u64>],
+        cursor: &mut crate::batch::BatchCursor,
+    ) {
+        assert_eq!(keys.len(), out.len(), "one output slot per key");
+        let group = cursor.group();
+        for (kc, oc) in keys.chunks(group).zip(out.chunks_mut(group)) {
+            cursor.run_group(self.root, &self.source, kc, oc);
+        }
+    }
+
     /// Whether `key` is present.
     pub fn contains(&self, key: &[u8]) -> bool {
         self.get(key).is_some()

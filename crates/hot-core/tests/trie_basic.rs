@@ -310,7 +310,7 @@ fn sparse_genome_alphabet_keys() {
     let alphabet = [b'A', b'C', b'G', b'T'];
     let mut keys: Vec<Vec<u8>> = (0..2_000)
         .map(|_| {
-            let mut k: Vec<u8> = (0..20).map(|_| alphabet[rng.gen_range(0..4)]).collect();
+            let mut k: Vec<u8> = (0..20).map(|_| alphabet[rng.gen_range(0..4usize)]).collect();
             k.push(0);
             k
         })

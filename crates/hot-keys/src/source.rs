@@ -40,6 +40,19 @@ pub trait KeySource: Sync {
         let mut scratch = [0u8; KEY_SCRATCH_LEN];
         self.load_key(tid, &mut scratch).cmp(key)
     }
+
+    /// Hint that `load_key(tid, ..)` is about to be called, so the tuple
+    /// memory can be prefetched while other work proceeds.
+    ///
+    /// The batched-lookup engine (`hot_core::batch`) issues this for every
+    /// leaf it reaches, then verifies all keys of the group afterwards —
+    /// overlapping what would otherwise be one serial cache miss per key.
+    /// Sources that materialize keys from the TID itself (no memory
+    /// dereference) keep the default no-op.
+    #[inline]
+    fn prefetch_key(&self, tid: u64) {
+        let _ = tid;
+    }
 }
 
 /// Key source for keys embedded directly in the TID: the key is the 8-byte
@@ -145,6 +158,14 @@ impl KeySource for ArenaKeySource {
     fn load_key<'a>(&'a self, tid: u64, _scratch: &'a mut [u8; KEY_SCRATCH_LEN]) -> &'a [u8] {
         self.key(tid)
     }
+
+    #[inline]
+    fn prefetch_key(&self, tid: u64) {
+        // One line covers the length prefix plus the first 63 key bytes —
+        // the whole record for every data set in this workspace except the
+        // longest url tails.
+        hot_bits::prefetch_read(self.data.as_ptr().wrapping_add(tid as usize));
+    }
 }
 
 /// Adapter making `&S` a key source (lets index structures borrow a shared
@@ -159,6 +180,11 @@ impl<S: KeySource + ?Sized> KeySource for &S {
     fn cmp_tid_key(&self, tid: u64, key: &[u8]) -> std::cmp::Ordering {
         (**self).cmp_tid_key(tid, key)
     }
+
+    #[inline]
+    fn prefetch_key(&self, tid: u64) {
+        (**self).prefetch_key(tid)
+    }
 }
 
 impl<S: KeySource + Send + ?Sized> KeySource for std::sync::Arc<S> {
@@ -170,6 +196,11 @@ impl<S: KeySource + Send + ?Sized> KeySource for std::sync::Arc<S> {
     #[inline]
     fn cmp_tid_key(&self, tid: u64, key: &[u8]) -> std::cmp::Ordering {
         (**self).cmp_tid_key(tid, key)
+    }
+
+    #[inline]
+    fn prefetch_key(&self, tid: u64) {
+        (**self).prefetch_key(tid)
     }
 }
 

@@ -788,7 +788,6 @@ mod tests {
         // Order: short key first (it is a prefix-before-extension).
         assert_eq!(t.iter().collect::<Vec<_>>(), vec![ts, t1, t2]);
         // Remove the boundary key; extensions survive.
-        let mut t = t;
         assert_eq!(t.remove(&short), Some(ts));
         assert_eq!(t.get(&short), None);
         assert_eq!(t.get(&long1), Some(t1));

@@ -183,7 +183,7 @@ fn gen_emails(n: usize, rng: &mut StdRng) -> Vec<Vec<u8>> {
         } else {
             let first = FIRST_NAMES[first_dist.next_rank(rng) as usize];
             let last = LAST_NAMES[last_dist.next_rank(rng) as usize];
-            let sep = ["", ".", "_"][rng.gen_range(0..3)];
+            let sep = ["", ".", "_"][rng.gen_range(0..3usize)];
             let num = if rng.gen_bool(0.55) {
                 format!("{}", rng.gen_range(1..9999))
             } else {

@@ -27,5 +27,5 @@ pub mod workload;
 pub mod zipf;
 
 pub use dataset::{Dataset, DatasetKind};
-pub use workload::{Operation, RequestDistribution, Workload, WorkloadRun};
+pub use workload::{BatchedOperation, Operation, ReadBatches, RequestDistribution, Workload, WorkloadRun};
 pub use zipf::{Latest, Zipfian};

@@ -278,6 +278,75 @@ impl OperationStream {
     }
 }
 
+/// An operation-stream item after read coalescing: runs of consecutive
+/// point reads are grouped so the index can resolve them with one
+/// memory-level-parallel `get_batch` call; everything else passes through
+/// unchanged and in order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BatchedOperation {
+    /// `1..=max_batch` consecutive point reads (key indices in stream
+    /// order, duplicates allowed).
+    Reads(Vec<usize>),
+    /// A non-read operation, at its original position in the stream.
+    Other(Operation),
+}
+
+/// Iterator adapter coalescing consecutive [`Operation::Read`]s.
+///
+/// Because writes are *not* reordered past reads (a batch ends at the first
+/// non-read operation), executing a batched stream is observationally
+/// identical to executing the scalar stream — required for the checksums in
+/// the benchmark driver to match between the two paths.
+pub struct ReadBatches {
+    inner: OperationStream,
+    /// A non-read operation pulled while closing the previous batch.
+    pending: Option<Operation>,
+    max_batch: usize,
+}
+
+impl Iterator for ReadBatches {
+    type Item = BatchedOperation;
+
+    fn next(&mut self) -> Option<BatchedOperation> {
+        if let Some(op) = self.pending.take() {
+            return Some(BatchedOperation::Other(op));
+        }
+        let mut reads: Vec<usize> = Vec::new();
+        while reads.len() < self.max_batch {
+            match self.inner.next() {
+                Some(Operation::Read(idx)) => reads.push(idx),
+                Some(other) => {
+                    if reads.is_empty() {
+                        return Some(BatchedOperation::Other(other));
+                    }
+                    self.pending = Some(other);
+                    break;
+                }
+                None => break,
+            }
+        }
+        if reads.is_empty() {
+            None
+        } else {
+            Some(BatchedOperation::Reads(reads))
+        }
+    }
+}
+
+impl WorkloadRun {
+    /// The operation stream with consecutive reads coalesced into batches
+    /// of at most `max_batch` (≥ 1). Yields the same operations as
+    /// [`operations`](WorkloadRun::operations), in the same order.
+    pub fn batched_operations(&self, max_batch: usize) -> ReadBatches {
+        assert!(max_batch >= 1, "batch size must be at least 1");
+        ReadBatches {
+            inner: self.operations(),
+            pending: None,
+            max_batch,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -385,7 +454,7 @@ mod tests {
         let mut max_len = 0;
         for op in run.operations() {
             if let Operation::Scan(idx, len) = op {
-                assert!(len >= 1 && len <= MAX_SCAN_LEN);
+                assert!((1..=MAX_SCAN_LEN).contains(&len));
                 assert!(idx < 1_000 + run.reserve_keys());
                 max_len = max_len.max(len);
             }
@@ -429,6 +498,61 @@ mod tests {
             recent_reads as f64 / reads as f64 > 0.3,
             "latest distribution prefers recent keys"
         );
+    }
+
+    #[test]
+    fn batched_stream_preserves_operation_order() {
+        for workload in Workload::ALL {
+            let run = WorkloadRun::new(workload, RequestDistribution::Uniform, 2_000, 20_000, 9);
+            let scalar: Vec<Operation> = run.operations().collect();
+            let mut replayed = Vec::with_capacity(scalar.len());
+            for item in run.batched_operations(8) {
+                match item {
+                    BatchedOperation::Reads(idxs) => {
+                        assert!(!idxs.is_empty() && idxs.len() <= 8);
+                        replayed.extend(idxs.into_iter().map(Operation::Read));
+                    }
+                    BatchedOperation::Other(op) => {
+                        assert!(!matches!(op, Operation::Read(_)));
+                        replayed.push(op);
+                    }
+                }
+            }
+            assert_eq!(replayed, scalar, "workload {workload:?}");
+        }
+    }
+
+    #[test]
+    fn read_only_stream_fills_whole_batches() {
+        let run = WorkloadRun::new(Workload::C, RequestDistribution::Uniform, 1_000, 1_003, 11);
+        let batches: Vec<BatchedOperation> = run.batched_operations(16).collect();
+        // 1003 reads → 62 full batches of 16 plus a tail of 11.
+        assert_eq!(batches.len(), 63);
+        for (i, b) in batches.iter().enumerate() {
+            match b {
+                BatchedOperation::Reads(idxs) => {
+                    assert_eq!(idxs.len(), if i < 62 { 16 } else { 11 });
+                }
+                BatchedOperation::Other(_) => panic!("workload C is read-only"),
+            }
+        }
+    }
+
+    #[test]
+    fn batch_of_one_degenerates_to_scalar_stream() {
+        let run = WorkloadRun::new(Workload::A, RequestDistribution::Zipfian, 1_000, 5_000, 13);
+        let scalar: Vec<Operation> = run.operations().collect();
+        let singles: Vec<Operation> = run
+            .batched_operations(1)
+            .map(|item| match item {
+                BatchedOperation::Reads(idxs) => {
+                    assert_eq!(idxs.len(), 1);
+                    Operation::Read(idxs[0])
+                }
+                BatchedOperation::Other(op) => op,
+            })
+            .collect();
+        assert_eq!(singles, scalar);
     }
 
     #[test]

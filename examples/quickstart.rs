@@ -44,6 +44,15 @@ fn main() {
     let ordered: Vec<u64> = trie.iter().collect();
     println!("in key order: {ordered:?}");
 
+    // Batched lookups: resolve independent keys in groups so their cache
+    // misses overlap (memory-level parallelism). Results are identical to
+    // scalar `get`, one slot per key.
+    let probes: Vec<[u8; 8]> = [42u64, 8, 1 << 40, 5].iter().map(|&v| encode_u64(v)).collect();
+    let mut found = vec![None; probes.len()];
+    trie.get_batch(&probes, &mut found);
+    println!("batched lookups: {found:?}");
+    assert_eq!(found, vec![Some(42), None, Some(1 << 40), None]);
+
     // ── 3. ConcurrentHot: the ROWEX-synchronized index (Section 5) ─────────
     let shared = Arc::new(ConcurrentHot::new(EmbeddedKeySource));
     std::thread::scope(|scope| {

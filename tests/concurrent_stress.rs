@@ -78,7 +78,7 @@ fn mixed_operations_with_wait_free_readers() {
                     x ^= x >> 7;
                     x ^= x << 17;
                     let i = backbone + (x as usize % (n - backbone));
-                    if x % 3 == 0 {
+                    if x.is_multiple_of(3) {
                         trie.remove(&keys[i]);
                     } else {
                         trie.insert(&keys[i], tids[i]);
@@ -102,7 +102,7 @@ fn mixed_operations_with_wait_free_readers() {
                     x ^= x << 17;
                     let i = x as usize % backbone;
                     assert_eq!(trie.get(&keys[i]), Some(tids[i]), "backbone lost");
-                    if x % 7 == 0 {
+                    if x.is_multiple_of(7) {
                         let window = trie.scan(&keys[i], 20);
                         // Sorted by key (resolve via the arena).
                         use hot_keys::KeySource;
@@ -125,6 +125,93 @@ fn mixed_operations_with_wait_free_readers() {
     trie.validate();
     for i in 0..backbone {
         assert_eq!(trie.get(&keys[i]), Some(tids[i]));
+    }
+}
+
+#[test]
+fn batched_readers_with_concurrent_writers() {
+    // The batched descent holds one epoch pin across a whole group and may
+    // observe torn slots mid-update; every lane must still resolve to
+    // either the key's correct TID or None — never a wrong TID.
+    let n = 20_000;
+    let data = BenchData::new(Dataset::generate(DatasetKind::Email, n, 31));
+    let trie = Arc::new(ConcurrentHot::new(Arc::clone(&data.arena)));
+    let keys = Arc::new(data.dataset.keys.clone());
+    let tids = Arc::new(data.tids.clone());
+
+    // Stable backbone (first half); writers churn the second half.
+    let backbone = n / 2;
+    for i in 0..backbone {
+        trie.insert(&keys[i], tids[i]);
+    }
+    let stop = Arc::new(AtomicBool::new(false));
+
+    std::thread::scope(|scope| {
+        for t in 0..2u64 {
+            let trie = Arc::clone(&trie);
+            let keys = Arc::clone(&keys);
+            let tids = Arc::clone(&tids);
+            let stop = Arc::clone(&stop);
+            scope.spawn(move || {
+                let mut x = 0x2468_ACE0u64 ^ t;
+                while !stop.load(Ordering::Relaxed) {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    let i = backbone + (x as usize % (n - backbone));
+                    if x.is_multiple_of(3) {
+                        trie.remove(&keys[i]);
+                    } else {
+                        trie.insert(&keys[i], tids[i]);
+                    }
+                }
+            });
+        }
+        // Batched readers: groups mix stable and churning keys.
+        for t in 0..2u64 {
+            let trie = Arc::clone(&trie);
+            let keys = Arc::clone(&keys);
+            let tids = Arc::clone(&tids);
+            let stop = Arc::clone(&stop);
+            scope.spawn(move || {
+                let mut cursor = hot_core::BatchCursor::new();
+                let mut x = 0xFDB9_7531u64 ^ t;
+                let mut idxs = [0usize; 16];
+                let mut out = [None; 16];
+                while !stop.load(Ordering::Relaxed) {
+                    for slot in idxs.iter_mut() {
+                        x ^= x << 13;
+                        x ^= x >> 7;
+                        x ^= x << 17;
+                        *slot = x as usize % n;
+                    }
+                    let probe: Vec<&[u8]> = idxs.iter().map(|&i| keys[i].as_slice()).collect();
+                    trie.get_batch_with(&probe, &mut out, &mut cursor);
+                    for (&i, &got) in idxs.iter().zip(&out) {
+                        if i < backbone {
+                            assert_eq!(got, Some(tids[i]), "stable key lost in batch");
+                        } else {
+                            assert!(
+                                got.is_none() || got == Some(tids[i]),
+                                "batched lookup returned a foreign TID"
+                            );
+                        }
+                    }
+                }
+            });
+        }
+        std::thread::sleep(std::time::Duration::from_millis(400));
+        stop.store(true, Ordering::Relaxed);
+    });
+
+    trie.validate();
+    // Quiesced: batched and scalar agree on every key.
+    let mut cursor = hot_core::BatchCursor::new();
+    let probe: Vec<&[u8]> = keys.iter().map(|k| k.as_slice()).collect();
+    let mut out = vec![None; n];
+    trie.get_batch_with(&probe, &mut out, &mut cursor);
+    for (k, &got) in probe.iter().zip(&out) {
+        assert_eq!(got, trie.get(k));
     }
 }
 

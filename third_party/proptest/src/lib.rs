@@ -1,0 +1,697 @@
+//! Offline stand-in for the `proptest` crate (1.x API subset).
+//!
+//! The build container has no crates.io access, so the workspace vendors the
+//! property-testing surface its test suites use:
+//!
+//! * the [`proptest!`] macro (with optional `#![proptest_config(..)]`),
+//!   [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assert_ne!`] /
+//!   [`prop_assume!`], and [`prop_oneof!`];
+//! * [`strategy::Strategy`] with `prop_map` and `boxed`, implemented for
+//!   integer ranges, tuples, and string patterns (`"[a-d]{1,20}"`-style
+//!   literals);
+//! * [`arbitrary::any`] for primitive integers and `bool`;
+//! * [`collection::vec`] and [`collection::btree_set`].
+//!
+//! Differences from real proptest, deliberately accepted:
+//!
+//! * **No shrinking.** A failing case panics with the generated inputs
+//!   printed (`Debug`), which for this workspace's differential tests is
+//!   enough to reproduce: generation is deterministic per test name, so a
+//!   failure recurs on every run until fixed.
+//! * **Generation is a plain seeded PRNG** (SplitMix64) with light edge-value
+//!   biasing for `any::<uN>()` (zeros, ones, `MAX`, single-bit patterns show
+//!   up ~1 case in 8), rather than proptest's recursive value trees.
+//! * The `PROPTEST_CASES` environment variable scales the default case
+//!   count; per-test `ProptestConfig::with_cases` is respected as-is.
+
+// Vendored stand-in crate: linted like third-party code, not workspace code.
+#![allow(clippy::all)]
+
+/// Runner configuration and error plumbing.
+pub mod test_runner {
+    /// Configuration accepted by `#![proptest_config(..)]`.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per test.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            let cases = std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(256);
+            ProptestConfig { cases }
+        }
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases (other settings default).
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    /// A failed `prop_assert*` inside a test case.
+    #[derive(Debug)]
+    pub struct TestCaseError {
+        msg: String,
+    }
+
+    impl TestCaseError {
+        /// Build a failure carrying `msg`.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError { msg: msg.into() }
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.msg)
+        }
+    }
+
+    /// Deterministic generation source (SplitMix64).
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seed from a test identifier (stable across runs) plus the
+        /// optional `PROPTEST_SEED` environment override.
+        pub fn deterministic(name: &str) -> Self {
+            // FNV-1a over the name gives a distinct stream per test.
+            let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x1000_0000_01B3);
+            }
+            if let Ok(seed) = std::env::var("PROPTEST_SEED") {
+                if let Ok(s) = seed.parse::<u64>() {
+                    h ^= s;
+                }
+            }
+            TestRng { state: h }
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `[0, bound)`; `bound` must be non-zero.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            debug_assert!(bound > 0);
+            (((self.next_u64() as u128) * (bound as u128)) >> 64) as u64
+        }
+    }
+}
+
+/// The generation abstraction: a recipe for producing values of one type.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// Generates values of type `Value`. Object-safe so heterogeneous
+    /// branches can be unified behind [`BoxedStrategy`].
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Produce one value.
+        fn gen_value(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transform generated values with `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Type-erase this strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    /// A type-erased strategy.
+    pub type BoxedStrategy<V> = Box<dyn Strategy<Value = V>>;
+
+    impl<V> Strategy for BoxedStrategy<V> {
+        type Value = V;
+        fn gen_value(&self, rng: &mut TestRng) -> V {
+            (**self).gen_value(rng)
+        }
+    }
+
+    /// Result of [`Strategy::prop_map`].
+    #[derive(Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn gen_value(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.gen_value(rng))
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn gen_value(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as u64).wrapping_sub(self.start as u64);
+                    self.start.wrapping_add(rng.below(span) as $t)
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn gen_value(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as u64).wrapping_sub(lo as u64).wrapping_add(1);
+                    if span == 0 {
+                        return rng.next_u64() as $t;
+                    }
+                    lo.wrapping_add(rng.below(span) as $t)
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize);
+
+    /// String literals are strategies: the pattern subset
+    /// `[class]{m,n}`-style is generated directly (see [`crate::string`]).
+    impl Strategy for &'static str {
+        type Value = String;
+        fn gen_value(&self, rng: &mut TestRng) -> String {
+            crate::string::gen_from_pattern(self, rng)
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident / $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.gen_value(rng),)+)
+                }
+            }
+        )*};
+    }
+    impl_tuple_strategy! {
+        (A/0)
+        (A/0, B/1)
+        (A/0, B/1, C/2)
+        (A/0, B/1, C/2, D/3)
+        (A/0, B/1, C/2, D/3, E/4)
+    }
+
+    /// Weighted union of strategies — the engine behind [`crate::prop_oneof!`].
+    pub struct OneOf<V> {
+        choices: Vec<(u32, BoxedStrategy<V>)>,
+        total: u64,
+    }
+
+    impl<V> OneOf<V> {
+        /// Build from `(weight, strategy)` pairs.
+        pub fn new(choices: Vec<(u32, BoxedStrategy<V>)>) -> Self {
+            let total = choices.iter().map(|(w, _)| *w as u64).sum();
+            assert!(total > 0, "prop_oneof! needs positive total weight");
+            OneOf { choices, total }
+        }
+    }
+
+    impl<V> Strategy for OneOf<V> {
+        type Value = V;
+        fn gen_value(&self, rng: &mut TestRng) -> V {
+            let mut pick = rng.below(self.total);
+            for (w, s) in &self.choices {
+                if pick < *w as u64 {
+                    return s.gen_value(rng);
+                }
+                pick -= *w as u64;
+            }
+            unreachable!("weights covered above")
+        }
+    }
+}
+
+/// `any::<T>()` — the full domain of `T`, with edge-value biasing.
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical full-domain strategy.
+    pub trait Arbitrary: Sized {
+        /// Sample the domain (biased toward boundary values).
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_uint {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    // 1 case in 8: an edge pattern — catches off-by-one and
+                    // carry bugs far faster than uniform sampling.
+                    if rng.below(8) == 0 {
+                        match rng.below(5) {
+                            0 => 0,
+                            1 => 1,
+                            2 => <$t>::MAX,
+                            3 => ((1u64.wrapping_shl(rng.below(<$t>::BITS as u64) as u32)) as $t),
+                            _ => <$t>::MAX >> 1,
+                        }
+                    } else {
+                        rng.next_u64() as $t
+                    }
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_uint!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// Strategy returned by [`any`].
+    pub struct Any<T>(PhantomData<fn() -> T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn gen_value(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The canonical strategy for all values of `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::collections::BTreeSet;
+
+    /// Admissible collection sizes (built from range literals).
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_incl: usize,
+    }
+
+    impl SizeRange {
+        fn sample(&self, rng: &mut TestRng) -> usize {
+            self.lo + rng.below((self.hi_incl - self.lo + 1) as u64) as usize
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange { lo: r.start, hi_incl: r.end - 1 }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty size range");
+            SizeRange { lo: *r.start(), hi_incl: *r.end() }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi_incl: n }
+        }
+    }
+
+    /// `Vec<S::Value>` with a length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    /// Strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn gen_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.sample(rng);
+            (0..len).map(|_| self.element.gen_value(rng)).collect()
+        }
+    }
+
+    /// `BTreeSet<S::Value>` with a size drawn from `size` (element domain
+    /// permitting — generation stops after a bounded number of attempts, so
+    /// tiny domains yield smaller sets rather than looping forever).
+    pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy { element, size: size.into() }
+    }
+
+    /// Strategy returned by [`btree_set`].
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn gen_value(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+            let target = self.size.sample(rng);
+            let mut out = BTreeSet::new();
+            let mut attempts = 0usize;
+            let max_attempts = target * 20 + 100;
+            while out.len() < target && attempts < max_attempts {
+                out.insert(self.element.gen_value(rng));
+                attempts += 1;
+            }
+            out
+        }
+    }
+}
+
+/// Generation for string-pattern strategies (`"[a-d]{1,20}"`).
+pub mod string {
+    use crate::test_runner::TestRng;
+
+    /// Generate a string matching a small regex subset: literal characters
+    /// and `[..]` character classes (with `a-z` ranges), each optionally
+    /// quantified by `{n}`, `{m,n}`, `?`, `*`, or `+` (`*`/`+` capped at 8).
+    pub fn gen_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut i = 0;
+        while i < chars.len() {
+            // Parse one atom: a char class or a literal.
+            let class: Vec<char> = if chars[i] == '[' {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .map(|p| i + p)
+                    .unwrap_or_else(|| panic!("unclosed [ in pattern {pattern:?}"));
+                let mut set = Vec::new();
+                let mut j = i + 1;
+                while j < close {
+                    if j + 2 < close && chars[j + 1] == '-' {
+                        let (lo, hi) = (chars[j] as u32, chars[j + 2] as u32);
+                        assert!(lo <= hi, "bad class range in {pattern:?}");
+                        set.extend((lo..=hi).filter_map(char::from_u32));
+                        j += 3;
+                    } else {
+                        set.push(chars[j]);
+                        j += 1;
+                    }
+                }
+                i = close + 1;
+                set
+            } else if chars[i] == '\\' && i + 1 < chars.len() {
+                i += 2;
+                vec![chars[i - 1]]
+            } else {
+                i += 1;
+                vec![chars[i - 1]]
+            };
+            assert!(!class.is_empty(), "empty class in pattern {pattern:?}");
+
+            // Parse the quantifier, if any.
+            let (lo, hi) = if i < chars.len() && chars[i] == '{' {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .map(|p| i + p)
+                    .unwrap_or_else(|| panic!("unclosed {{ in pattern {pattern:?}"));
+                let body: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                match body.split_once(',') {
+                    Some((m, n)) => (
+                        m.trim().parse().expect("bad quantifier"),
+                        n.trim().parse().expect("bad quantifier"),
+                    ),
+                    None => {
+                        let n: usize = body.trim().parse().expect("bad quantifier");
+                        (n, n)
+                    }
+                }
+            } else if i < chars.len() && chars[i] == '?' {
+                i += 1;
+                (0, 1)
+            } else if i < chars.len() && chars[i] == '*' {
+                i += 1;
+                (0, 8)
+            } else if i < chars.len() && chars[i] == '+' {
+                i += 1;
+                (1, 8)
+            } else {
+                (1, 1)
+            };
+
+            let count = lo + rng.below((hi - lo + 1) as u64) as usize;
+            for _ in 0..count {
+                out.push(class[rng.below(class.len() as u64) as usize]);
+            }
+        }
+        out
+    }
+}
+
+/// The names test files import.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+    /// `prop::collection::vec(..)`-style paths.
+    pub use crate as prop;
+}
+
+/// Assert inside a proptest body; failures abort only the current case with
+/// the generated inputs printed.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// `prop_assert!(left == right)` with both values printed on failure.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `(left == right)`\n  left: {:?}\n right: {:?}",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `(left == right)`\n  left: {:?}\n right: {:?}\n  {}",
+            left,
+            right,
+            format!($($fmt)*)
+        );
+    }};
+}
+
+/// `prop_assert!(left != right)` with both values printed on failure.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `(left != right)`\n  both: {:?}",
+            left
+        );
+    }};
+}
+
+/// Discard the current case when its inputs don't satisfy a precondition.
+/// (This stub counts discarded cases as passing.)
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Ok(());
+        }
+    };
+}
+
+/// Weighted choice between strategies producing the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat)),)+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat)),)+
+        ])
+    };
+}
+
+/// Define `#[test]` functions whose arguments are drawn from strategies.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($config:expr) ) => {};
+    ( ($config:expr)
+      $(#[$meta:meta])*
+      fn $name:ident ( $( $arg:pat in $strat:expr ),+ $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config = $config;
+            let mut rng = $crate::test_runner::TestRng::deterministic(concat!(
+                module_path!(),
+                "::",
+                stringify!($name)
+            ));
+            for case in 0..config.cases {
+                let values = ( $( $crate::strategy::Strategy::gen_value(&($strat), &mut rng), )+ );
+                let inputs = format!("{:?}", values);
+                let ( $($arg,)+ ) = values;
+                let result: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (move || {
+                        $body;
+                        ::core::result::Result::Ok(())
+                    })();
+                if let ::core::result::Result::Err(e) = result {
+                    panic!(
+                        "proptest case {}/{} failed: {}\n  inputs: {}",
+                        case + 1,
+                        config.cases,
+                        e,
+                        inputs
+                    );
+                }
+            }
+        }
+        $crate::__proptest_impl! { ($config) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn string_pattern_generates_matching_strings() {
+        let mut rng = TestRng::deterministic("string_pattern");
+        for _ in 0..500 {
+            let s = crate::string::gen_from_pattern("[a-d]{1,20}", &mut rng);
+            assert!((1..=20).contains(&s.len()), "bad length {}", s.len());
+            assert!(s.chars().all(|c| ('a'..='d').contains(&c)), "bad char in {s:?}");
+        }
+        // Exact-count quantifier, literals, escapes.
+        let s = crate::string::gen_from_pattern("ab[xy]{3}c\\[", &mut rng);
+        assert_eq!(s.len(), 7);
+        assert!(s.starts_with("ab") && s.ends_with("c["));
+    }
+
+    #[test]
+    fn oneof_respects_weights_roughly() {
+        let strat = prop_oneof![
+            9 => (0u32..1).prop_map(|_| true),
+            1 => (0u32..1).prop_map(|_| false),
+        ];
+        let mut rng = TestRng::deterministic("weights");
+        let hits = (0..1_000).filter(|_| strat.gen_value(&mut rng)).count();
+        assert!((800..1_000).contains(&hits), "9:1 weighting gave {hits}/1000");
+    }
+
+    #[test]
+    fn collections_hit_requested_sizes() {
+        let mut rng = TestRng::deterministic("sizes");
+        for _ in 0..200 {
+            let v = prop::collection::vec(any::<u64>(), 3..10).gen_value(&mut rng);
+            assert!((3..10).contains(&v.len()));
+            let s = prop::collection::btree_set(0u64..1_000_000, 5..=8).gen_value(&mut rng);
+            assert!((5..=8).contains(&s.len()));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn macro_binds_multiple_args(x in any::<u64>(), y in 10u64..20, s in "[ab]{2,4}") {
+            prop_assert!(y >= 10 && y < 20);
+            prop_assert_eq!(s.len(), s.chars().count());
+            prop_assert_ne!(s.len(), 0);
+            let _ = x;
+        }
+
+        #[test]
+        fn macro_supports_patterns(ops in prop::collection::vec((0u8..4, any::<u16>()), 1..30)) {
+            for (op, val) in ops {
+                prop_assert!(op < 4);
+                let _ = val;
+            }
+        }
+    }
+}
