@@ -77,7 +77,8 @@ impl Child {
     /// still owned by the tree.
     #[inline]
     unsafe fn node_ref<'a>(self) -> &'a Node {
-        &*self.ptr()
+        // SAFETY: caller guarantees a live, tree-owned Box allocation.
+        unsafe { &*self.ptr() }
     }
 
     /// # Safety
@@ -85,7 +86,9 @@ impl Child {
     #[allow(clippy::mut_from_ref)]
     #[inline]
     unsafe fn node_mut<'a>(self) -> &'a mut Node {
-        &mut *self.ptr()
+        // SAFETY: caller guarantees a live, tree-owned Box allocation and
+        // exclusive access.
+        unsafe { &mut *self.ptr() }
     }
 }
 
@@ -523,7 +526,9 @@ impl<S: KeySource> Art<S> {
     /// # Safety
     /// `child` must be an owned node pointer with no other references.
     unsafe fn free(&mut self, child: Child) {
-        let node = Box::from_raw(child.ptr());
+        // SAFETY: caller passes the last reference to a pointer made by
+        // `Box::into_raw` in `alloc`; re-boxing transfers ownership back.
+        let node = unsafe { Box::from_raw(child.ptr()) };
         self.node_bytes -= node.heap_bytes();
         self.node_count -= 1;
     }
@@ -995,6 +1000,8 @@ impl<'a, S: KeySource> Iterator for Cursor<'a, S> {
 // SAFETY: the tree owns all nodes; sharing &Art across threads only permits
 // reads (all mutation requires &mut).
 unsafe impl<S: Sync> Sync for Art<S> {}
+// SAFETY: nodes are heap allocations reachable only through the tree; moving
+// the tree to another thread moves exclusive ownership of all of them.
 unsafe impl<S: Send> Send for Art<S> {}
 
 #[cfg(test)]

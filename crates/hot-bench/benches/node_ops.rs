@@ -46,6 +46,7 @@ fn bench_search(c: &mut Criterion) {
     }
     pkeys8[0] = 0;
     group.bench_function("simd_u8_32", |b| {
+        // SAFETY: `pkeys8` is a 32-byte array, matching the count passed.
         b.iter(|| unsafe {
             let mut acc = 0usize;
             for dense in 0..64u8 {

@@ -16,6 +16,13 @@
 //! ```text
 //! cargo run --release -p hot-bench --bin fig8_throughput -- --keys 1000000 --ops 2000000 --batch 8
 //! ```
+//!
+//! With `--check`, every structural invariant of the HOT trie is verified
+//! after the load phase and again after the mutating workload-E phase
+//! (whole-tree walk: fanout bounds, linearization well-formedness, height
+//! monotonicity, key ordering, full re-lookup — see `hot_core::invariants`).
+//! The checks run strictly outside the timed regions, so reported
+//! throughput is unchanged; the run aborts on the first violation.
 
 use hot_bench::{
     all_indexes, row, run_load, run_transactions, run_transactions_batched, BenchData, Config,
@@ -65,6 +72,7 @@ fn main() {
         for mut index in all_indexes(&data.arena) {
             // Insert-only = the load phase itself.
             let load_mops = run_load(index.as_mut(), &data, config.keys);
+            check_index(&config, index.as_ref(), kind.label(), "load");
 
             // Workload C (100% lookup), scalar then batched over the same
             // read-only stream.
@@ -85,6 +93,7 @@ fn main() {
 
             // Workload E (95% scan / 5% insert).
             let (e_mops, e_sum) = run_transactions(index.as_mut(), &data, &e_run);
+            check_index(&config, index.as_ref(), kind.label(), "workload E");
 
             row(&[
                 "C".into(),
@@ -126,6 +135,22 @@ fn main() {
     }
 
     write_batch_json(&config, &records);
+}
+
+/// `--check` hook: verify the index's structural invariants between (never
+/// inside) timed phases. Panics on violation; indexes without a checker
+/// report nothing.
+fn check_index(config: &Config, index: &dyn hot_bench::BenchIndex, dataset: &str, phase: &str) {
+    if !config.check {
+        return;
+    }
+    if let Some(summary) = index.check_invariants() {
+        eprintln!(
+            "# check: {} {} after {phase}: ok ({summary})",
+            dataset,
+            index.name()
+        );
+    }
 }
 
 /// Hand-rolled JSON (no serde in the workspace): scalar vs. batched

@@ -21,6 +21,7 @@ fn main() {
     for _ in 0..iters {
         let r = b.encode(&mem);
         acc = acc.wrapping_add(r.0);
+        // SAFETY: `r` was just encoded and never published.
         unsafe { hot_core::node::free_for_bench(r, &mem) };
     }
     println!("encode+free (32 entries): {:.0} ns/cycle (acc {acc:x})", t.elapsed().as_nanos() as f64 / iters as f64);
@@ -30,6 +31,7 @@ fn main() {
     for _ in 0..iters {
         let r = small.encode(&mem);
         acc = acc.wrapping_add(r.0);
+        // SAFETY: `r` was just encoded and never published.
         unsafe { hot_core::node::free_for_bench(r, &mem) };
     }
     println!("encode+free (pair): {:.0} ns/cycle", t.elapsed().as_nanos() as f64 / iters as f64);

@@ -40,12 +40,16 @@ pub fn pdep64_scalar(mut x: u64, mut mask: u64) -> u64 {
     result
 }
 
+/// # Safety
+/// Caller must have verified BMI2 support (`is_x86_feature_detected!`).
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "bmi2")]
 unsafe fn pext64_bmi2(x: u64, mask: u64) -> u64 {
     core::arch::x86_64::_pext_u64(x, mask)
 }
 
+/// # Safety
+/// Caller must have verified BMI2 support (`is_x86_feature_detected!`).
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "bmi2")]
 unsafe fn pdep64_bmi2(x: u64, mask: u64) -> u64 {

@@ -84,7 +84,9 @@ mod avx2 {
     /// AVX2 must be available and 32 bytes must be readable from `pkeys`.
     #[target_feature(enable = "avx2")]
     pub unsafe fn search_u8(pkeys: *const u8, n: usize, dense: u8) -> usize {
-        let v = _mm256_loadu_si256(pkeys as *const __m256i);
+        // SAFETY: caller guarantees 32 readable bytes; loadu has no
+        // alignment requirement.
+        let v = unsafe { _mm256_loadu_si256(pkeys as *const __m256i) };
         let d = _mm256_set1_epi8(dense as i8);
         let selected = _mm256_and_si256(v, d);
         let eq = _mm256_cmpeq_epi8(selected, v);
@@ -101,8 +103,11 @@ mod avx2 {
     #[target_feature(enable = "avx2")]
     pub unsafe fn search_u16(pkeys: *const u16, n: usize, dense: u16) -> usize {
         let d = _mm256_set1_epi16(dense as i16);
-        let lo = _mm256_loadu_si256(pkeys as *const __m256i);
-        let hi = _mm256_loadu_si256((pkeys as *const __m256i).add(1));
+        // SAFETY: caller guarantees 64 readable bytes; loadu has no
+        // alignment requirement.
+        let lo = unsafe { _mm256_loadu_si256(pkeys as *const __m256i) };
+        // SAFETY: as above — the second 32-byte half of the same buffer.
+        let hi = unsafe { _mm256_loadu_si256((pkeys as *const __m256i).add(1)) };
         let eq_lo = _mm256_cmpeq_epi16(_mm256_and_si256(lo, d), lo);
         let eq_hi = _mm256_cmpeq_epi16(_mm256_and_si256(hi, d), hi);
         // movemask_epi8 yields two identical bits per 16-bit lane.
@@ -127,7 +132,9 @@ mod avx2 {
         let d = _mm256_set1_epi32(dense as i32);
         let mut matches = 0u32;
         for chunk in 0..4 {
-            let v = _mm256_loadu_si256((pkeys as *const __m256i).add(chunk));
+            // SAFETY: caller guarantees 128 readable bytes: four 32-byte
+            // chunks; loadu has no alignment requirement.
+            let v = unsafe { _mm256_loadu_si256((pkeys as *const __m256i).add(chunk)) };
             let eq = _mm256_cmpeq_epi32(_mm256_and_si256(v, d), v);
             let mm = _mm256_movemask_ps(_mm256_castsi256_ps(eq)) as u32;
             matches |= mm << (chunk * 8);
@@ -150,10 +157,13 @@ pub unsafe fn search_subset_u8(pkeys: *const u8, n: usize, dense: u8) -> usize {
     #[cfg(target_arch = "x86_64")]
     {
         if crate::features().avx2 {
-            return avx2::search_u8(pkeys, n, dense);
+            // SAFETY: AVX2 verified at runtime; the caller's readable-bytes
+            // contract ([`PADDED_BYTES_U8`]) covers the vector loads.
+            return unsafe { avx2::search_u8(pkeys, n, dense) };
         }
     }
-    search_subset_u8_scalar(core::slice::from_raw_parts(pkeys, n), n, dense)
+    // SAFETY: caller guarantees at least `n` elements are readable.
+    search_subset_u8_scalar(unsafe { core::slice::from_raw_parts(pkeys, n) }, n, dense)
 }
 
 /// Search 16-bit sparse partial keys for the highest-index subset match.
@@ -166,10 +176,13 @@ pub unsafe fn search_subset_u16(pkeys: *const u16, n: usize, dense: u16) -> usiz
     #[cfg(target_arch = "x86_64")]
     {
         if crate::features().avx2 {
-            return avx2::search_u16(pkeys, n, dense);
+            // SAFETY: AVX2 verified at runtime; the caller's readable-bytes
+            // contract ([`PADDED_BYTES_U16`]) covers the vector loads.
+            return unsafe { avx2::search_u16(pkeys, n, dense) };
         }
     }
-    search_subset_u16_scalar(core::slice::from_raw_parts(pkeys, n), n, dense)
+    // SAFETY: caller guarantees at least `n` elements are readable.
+    search_subset_u16_scalar(unsafe { core::slice::from_raw_parts(pkeys, n) }, n, dense)
 }
 
 /// Search 32-bit sparse partial keys for the highest-index subset match.
@@ -182,10 +195,13 @@ pub unsafe fn search_subset_u32(pkeys: *const u32, n: usize, dense: u32) -> usiz
     #[cfg(target_arch = "x86_64")]
     {
         if crate::features().avx2 {
-            return avx2::search_u32(pkeys, n, dense);
+            // SAFETY: AVX2 verified at runtime; the caller's readable-bytes
+            // contract ([`PADDED_BYTES_U32`]) covers the vector loads.
+            return unsafe { avx2::search_u32(pkeys, n, dense) };
         }
     }
-    search_subset_u32_scalar(core::slice::from_raw_parts(pkeys, n), n, dense)
+    // SAFETY: caller guarantees at least `n` elements are readable.
+    search_subset_u32_scalar(unsafe { core::slice::from_raw_parts(pkeys, n) }, n, dense)
 }
 
 #[cfg(test)]
@@ -215,6 +231,8 @@ mod tests {
         // Entry 0 has sparse key 0 in real nodes; an all-ones dense key must
         // pick the highest entry, an all-zeros dense key entry 0.
         let pkeys = padded_u8(&[0, 1, 2, 3]);
+        // SAFETY: the padded arrays are 32 entries, the layout the SIMD
+        // searchers require; `n` never exceeds the live prefix.
         unsafe {
             assert_eq!(search_subset_u8(pkeys.as_ptr(), 4, 0xFF), 3);
             assert_eq!(search_subset_u8(pkeys.as_ptr(), 4, 0x00), 0);
@@ -225,6 +243,8 @@ mod tests {
     fn subset_semantics_u8() {
         // sparse: 0b000, 0b001, 0b010, 0b110
         let pkeys = padded_u8(&[0b000, 0b001, 0b010, 0b110]);
+        // SAFETY: the padded arrays are 32 entries, the layout the SIMD
+        // searchers require; `n` never exceeds the live prefix.
         unsafe {
             // dense 0b011 matches 0b000, 0b001, 0b010 -> highest is index 2
             assert_eq!(search_subset_u8(pkeys.as_ptr(), 4, 0b011), 2);
@@ -240,6 +260,8 @@ mod tests {
         // Garbage in the padding area (0xAA = matches dense 0xAA) must never
         // be selected because it is past `n`.
         let pkeys = padded_u8(&[0x00, 0x02]);
+        // SAFETY: the padded arrays are 32 entries, the layout the SIMD
+        // searchers require; `n` never exceeds the live prefix.
         unsafe {
             assert_eq!(search_subset_u8(pkeys.as_ptr(), 2, 0xAA), 1);
         }
@@ -251,6 +273,8 @@ mod tests {
         for (i, slot) in raw.iter_mut().enumerate() {
             *slot = i as u8; // sparse key i for entry i
         }
+        // SAFETY: the padded arrays are 32 entries, the layout the SIMD
+        // searchers require; `n` never exceeds the live prefix.
         unsafe {
             assert_eq!(search_subset_u8(raw.as_ptr(), 32, 0xFF), 31);
             assert_eq!(search_subset_u8(raw.as_ptr(), 32, 0x1F), 31);
@@ -263,6 +287,8 @@ mod tests {
         let pkeys16 = padded_u16(&[0, 0x0001, 0x0100, 0x0101, 0x8000]);
         let pkeys32 = padded_u32(&[0, 0x1, 0x0001_0000, 0x0001_0001, 0x8000_0000]);
         for dense in [0u32, 1, 0x0101, 0x8000, 0xFFFF, 0x0001_0001, 0xFFFF_FFFF] {
+            // SAFETY: the padded arrays are 32 entries, the layout the SIMD
+            // searchers require; `n` never exceeds the live prefix.
             unsafe {
                 assert_eq!(
                     search_subset_u16(pkeys16.as_ptr(), 5, dense as u16),

@@ -39,6 +39,7 @@ proptest! {
         let n = pkeys.len();
         let mut padded = [0xCCu8; 32];
         padded[..n].copy_from_slice(&pkeys);
+        // SAFETY: `padded` is a 32-entry array and `n <= 32`.
         let simd = unsafe { hot_bits::search_subset_u8(padded.as_ptr(), n, dense) };
         prop_assert_eq!(simd, search_subset_u8_scalar(&pkeys, n, dense));
     }
@@ -51,6 +52,7 @@ proptest! {
         let n = pkeys.len();
         let mut padded = [0xCCCCu16; 32];
         padded[..n].copy_from_slice(&pkeys);
+        // SAFETY: `padded` is a 32-entry array and `n <= 32`.
         let simd = unsafe { hot_bits::search_subset_u16(padded.as_ptr(), n, dense) };
         prop_assert_eq!(simd, search_subset_u16_scalar(&pkeys, n, dense));
     }
@@ -63,6 +65,7 @@ proptest! {
         let n = pkeys.len();
         let mut padded = [0xCCCC_CCCCu32; 32];
         padded[..n].copy_from_slice(&pkeys);
+        // SAFETY: `padded` is a 32-entry array and `n <= 32`.
         let simd = unsafe { hot_bits::search_subset_u32(padded.as_ptr(), n, dense) };
         prop_assert_eq!(simd, search_subset_u32_scalar(&pkeys, n, dense));
     }

@@ -1,0 +1,198 @@
+//! Whole-trie structural invariant checking.
+//!
+//! [`check_tree`] walks every compound node of a (quiesced) HOT and
+//! verifies the paper's structural claims end to end, extending the
+//! per-node [`Builder::try_check_invariants`](crate::node::builder::Builder::try_check_invariants)
+//! check to tree scope:
+//!
+//! * **Fanout bounds** — every node holds `2..=k` entries (`k = 32`);
+//!   overflowed `k + 1` builders are transient and must never be
+//!   materialized.
+//! * **Sparse-partial-key discriminativity** — each node's linearization
+//!   decodes to a well-formed binary Patricia trie (Section 3.2), and the
+//!   layout-specific SIMD search maps every stored sparse key back to its
+//!   own entry index.
+//! * **Height bounds** — node heights strictly decrease towards the
+//!   leaves, so the root's height bounds the trie height, and every node
+//!   satisfies `height >= 1 + max(child heights)`. Exact equality is *not*
+//!   required below the root: remove paths deliberately skip recomputing
+//!   ancestor heights (a stale-high height is safe, merely conservative),
+//!   so the walk reports the number of slack nodes instead of failing.
+//! * **Partition ordering** — the in-order leaf sequence resolves (through
+//!   the [`KeySource`]) to strictly ascending keys, i.e. each BiNode's
+//!   0-side subtree precedes its 1-side subtree in key order.
+//! * **Reachability** — the walk finds exactly `len` leaves, and every
+//!   leaf's key is found again through the public lookup path (the
+//!   discriminative-bit prefixes along its path really select it).
+//! * **Quiescence** — no lock word has the `LOCKED` or `OBSOLETE` bit set;
+//!   an obsolete node reachable from the root means a writer published a
+//!   retired node, a locked one means the caller raced a writer.
+//!
+//! The checker returns `Err(description)` on the first violation instead
+//! of panicking, so property tests can report it as a counterexample and
+//! the `fig8_throughput --check` flag can fail with context. `HotTrie` and
+//! `ConcurrentHot` expose it as `try_check_invariants` /
+//! `check_invariants`.
+
+use crate::node::builder::Builder;
+use crate::node::{NodeRef, MAX_FANOUT};
+use crate::sync::{LOCKED, OBSOLETE};
+use crate::sync_shim::Ordering;
+use hot_keys::{KeySource, KEY_SCRATCH_LEN};
+
+/// Summary statistics gathered by a successful [`check_tree`] walk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvariantReport {
+    /// Compound nodes visited.
+    pub nodes: usize,
+    /// Leaf entries visited (equals the index `len`).
+    pub leaves: usize,
+    /// Root node height (0 for empty or single-leaf tries).
+    pub height: usize,
+    /// Nodes whose height exceeds `1 + max(child heights)` — stale-high
+    /// heights left behind by remove paths. Safe but worth watching: a
+    /// growing slack count on an insert-only workload would be a bug.
+    pub height_slack: usize,
+}
+
+struct Walker<'s, S> {
+    source: &'s S,
+    scratch: [u8; KEY_SCRATCH_LEN],
+    prev_key: Option<Vec<u8>>,
+    report: InvariantReport,
+    leaf_tids: Vec<u64>,
+}
+
+impl<S: KeySource> Walker<'_, S> {
+    /// Check the subtree under `r`; returns its height (leaves are 0).
+    fn walk(&mut self, r: NodeRef, depth: usize) -> Result<usize, String> {
+        if r.is_null() {
+            return Err(format!("null child reference at depth {depth}"));
+        }
+        if r.is_leaf() {
+            let tid = r.tid();
+            let key = self.source.load_key(tid, &mut self.scratch);
+            if let Some(prev) = &self.prev_key {
+                if prev.as_slice() >= key {
+                    return Err(format!(
+                        "partition ordering violated: leaf tid {tid} at depth \
+                         {depth} is not strictly greater than its in-order \
+                         predecessor ({prev:?} >= {key:?})"
+                    ));
+                }
+            }
+            self.prev_key = Some(key.to_vec());
+            self.leaf_tids.push(tid);
+            self.report.leaves += 1;
+            return Ok(0);
+        }
+        let raw = r.as_raw();
+        let n = raw.count();
+        let h = raw.height() as usize;
+        let ctx = |what: &str| format!("node at depth {depth} (tag {:?}, n={n}, h={h}): {what}", raw.tag);
+        if !(2..=MAX_FANOUT).contains(&n) {
+            return Err(ctx("entry count outside 2..=32"));
+        }
+        if h < 1 {
+            return Err(ctx("compound node with height 0"));
+        }
+        let lock = raw.lock_word().load(Ordering::Relaxed);
+        if lock & OBSOLETE != 0 {
+            return Err(ctx("reachable node is marked OBSOLETE"));
+        }
+        if lock & LOCKED != 0 {
+            return Err(ctx("node lock word is LOCKED on a quiesced tree"));
+        }
+        let builder = Builder::decode(raw);
+        builder
+            .try_check_invariants()
+            .map_err(|e| ctx(&format!("linearization invalid: {e}")))?;
+        // The SIMD search must map each stored sparse key to its own entry:
+        // per-layout search and the decoded linearization agree.
+        for i in 0..n {
+            let found = raw.search(raw.sparse_key(i));
+            if found != i {
+                return Err(ctx(&format!(
+                    "search(sparse_key({i})) returned {found}, not {i}"
+                )));
+            }
+        }
+        self.report.nodes += 1;
+        let mut max_child = 0usize;
+        for i in 0..n {
+            let ch = self.walk(raw.value(i), depth + 1)?;
+            if ch >= h {
+                return Err(ctx(&format!(
+                    "entry {i}: child height {ch} >= node height {h}"
+                )));
+            }
+            max_child = max_child.max(ch);
+        }
+        if h > 1 + max_child {
+            self.report.height_slack += 1;
+        }
+        Ok(h)
+    }
+}
+
+/// Walk the whole tree under `root`, verifying every structural invariant
+/// (see the module docs for the list). `expected_len` is the index's
+/// published length; `lookup` is the index's public point-lookup, used to
+/// re-find every stored key. Returns summary statistics on success and a
+/// description of the first violation otherwise.
+///
+/// The tree must be quiesced: no concurrent writers (the walk reads slots
+/// non-atomically with respect to the ROWEX protocol and expects all lock
+/// words clear).
+pub fn check_tree<S, F>(
+    root: NodeRef,
+    source: &S,
+    expected_len: usize,
+    lookup: F,
+) -> Result<InvariantReport, String>
+where
+    S: KeySource,
+    F: Fn(&[u8]) -> Option<u64>,
+{
+    let mut w = Walker {
+        source,
+        scratch: [0u8; KEY_SCRATCH_LEN],
+        prev_key: None,
+        report: InvariantReport {
+            nodes: 0,
+            leaves: 0,
+            height: 0,
+            height_slack: 0,
+        },
+        leaf_tids: Vec::with_capacity(expected_len),
+    };
+    if root.is_null() {
+        if expected_len != 0 {
+            return Err(format!("empty root but len is {expected_len}"));
+        }
+        return Ok(w.report);
+    }
+    w.report.height = w.walk(root, 0)?;
+    if w.report.leaves != expected_len {
+        return Err(format!(
+            "leaf count {} does not match len {expected_len}",
+            w.report.leaves
+        ));
+    }
+    // Every stored key must be found again through the public lookup path:
+    // the discriminative bits along each leaf's path actually select it.
+    let mut scratch = [0u8; KEY_SCRATCH_LEN];
+    for tid in std::mem::take(&mut w.leaf_tids) {
+        let key = source.load_key(tid, &mut scratch);
+        match lookup(key) {
+            Some(found) if found == tid => {}
+            other => {
+                return Err(format!(
+                    "stored key for tid {tid} resolves to {other:?} through \
+                     the public lookup path"
+                ));
+            }
+        }
+    }
+    Ok(w.report)
+}

@@ -41,12 +41,15 @@
 #![deny(missing_docs)]
 
 pub mod batch;
+pub mod invariants;
 pub mod map;
 pub mod node;
 pub mod sync;
+pub mod sync_shim;
 pub mod trie;
 
 pub use batch::{BatchCursor, DEFAULT_GROUP};
+pub use invariants::InvariantReport;
 pub use map::HotMap;
 pub use node::{MemCounter, NodeRef, NodeTag, MAX_FANOUT};
 pub use trie::HotTrie;

@@ -406,57 +406,108 @@ impl Builder {
 
     /// Structural invariant check used by tests and the tree validator.
     ///
+    /// Panicking wrapper over [`Self::try_check_invariants`].
+    pub fn check_invariants(&self) {
+        if let Err(msg) = self.try_check_invariants() {
+            panic!("{msg}");
+        }
+    }
+
+    /// Structural invariant check, reporting the first violation instead of
+    /// panicking (the whole-tree walk in [`crate::invariants`] aggregates
+    /// these into its error message).
+    ///
     /// Verifies: entries within bounds, positions sorted and distinct, entry
     /// 0's sparse key is 0, entries are distinct, the linearization decodes
     /// to a well-formed Patricia topology (every recursion step finds a
-    /// mixed position and splits into contiguous sides), and every sparse
-    /// key bit is justified by the entry's path.
-    pub fn check_invariants(&self) {
+    /// mixed position and splits into contiguous sides — this is the
+    /// paper's sparse-partial-key *discriminativity*), and every sparse key
+    /// bit is justified by the entry's path.
+    pub fn try_check_invariants(&self) -> Result<(), String> {
         let n = self.len();
         let m = self.m();
-        assert!(n >= 2, "nodes hold at least 2 entries");
-        assert!(n <= MAX_FANOUT + 1, "at most k+1 entries while overflowed");
-        assert!(m >= 1 && m < n, "1 <= m <= n-1 (m={m}, n={n})");
-        assert!(
-            self.positions.windows(2).all(|w| w[0] < w[1]),
-            "positions sorted and distinct"
-        );
-        assert_eq!(self.sparse[0], 0, "leftmost entry has all-zero sparse key");
-        assert_eq!(self.sparse.len(), self.values.len());
-        let width_ok = (self.sparse.iter().map(|s| *s as u64).max().unwrap_or(0))
-            < (1u64 << m);
-        assert!(width_ok, "sparse keys fit in m bits");
-        self.check_topology(0, n - 1, &mut vec![false; m]);
+        if n < 2 {
+            return Err(format!("node holds {n} entries; at least 2 required"));
+        }
+        if n > MAX_FANOUT + 1 {
+            return Err(format!("node holds {n} entries; at most k+1 allowed"));
+        }
+        if m == 0 || m >= n {
+            return Err(format!("position count violates 1 <= m <= n-1 (m={m}, n={n})"));
+        }
+        if !self.positions.windows(2).all(|w| w[0] < w[1]) {
+            return Err(format!(
+                "positions not sorted/distinct: {:?}",
+                self.positions
+            ));
+        }
+        if self.sparse[0] != 0 {
+            return Err(format!(
+                "leftmost entry's sparse key is {:#b}, expected 0",
+                self.sparse[0]
+            ));
+        }
+        if self.sparse.len() != self.values.len() {
+            return Err(format!(
+                "sparse/values length mismatch: {} vs {}",
+                self.sparse.len(),
+                self.values.len()
+            ));
+        }
+        let max_sparse = self.sparse.iter().map(|s| *s as u64).max().unwrap_or(0);
+        if max_sparse >= (1u64 << m) {
+            return Err(format!("sparse key {max_sparse:#b} does not fit in m={m} bits"));
+        }
+        self.check_topology(0, n - 1, &mut vec![false; m])
     }
 
-    fn check_topology(&self, lo: usize, hi: usize, on_path: &mut Vec<bool>) {
+    fn check_topology(&self, lo: usize, hi: usize, on_path: &mut Vec<bool>) -> Result<(), String> {
         if lo == hi {
             // A leaf entry: every set sparse bit must be an on-path 1 bit.
             for (r, &on) in on_path.iter().enumerate().take(self.m()) {
                 let bit = self.bit_of_rank(r);
-                if self.sparse[lo] & (1 << bit) != 0 {
-                    assert!(on, "entry {lo} has bit set at rank {r} off its path");
+                if self.sparse[lo] & (1 << bit) != 0 && !on {
+                    return Err(format!(
+                        "entry {lo} has bit set at rank {r} off its path"
+                    ));
                 }
             }
-            return;
+            return Ok(());
         }
-        let rank = self.range_root_rank(lo, hi);
+        let Some(rank) = (0..self.m()).find(|&r| {
+            let bit = self.bit_of_rank(r);
+            let first = self.sparse[lo] & (1 << bit);
+            self.sparse[lo..=hi].iter().any(|&s| s & (1 << bit) != first)
+        }) else {
+            return Err(format!(
+                "entries {lo}..={hi} are indistinguishable (duplicate sparse keys)"
+            ));
+        };
         let bit = self.bit_of_rank(rank);
         let split = (lo..=hi)
             .find(|&i| self.sparse[i] & (1 << bit) != 0)
-            .expect("mixed");
-        assert!(split > lo, "both sides of a BiNode are non-empty");
+            .expect("rank was chosen mixed over lo..=hi");
+        if split == lo {
+            return Err(format!(
+                "BiNode at rank {rank} over {lo}..={hi} has an empty 0 side"
+            ));
+        }
         // The 0 side precedes the 1 side and each is contiguous.
         for i in lo..split {
-            assert_eq!(self.sparse[i] & (1 << bit), 0, "0 side contiguous");
+            if self.sparse[i] & (1 << bit) != 0 {
+                return Err(format!("entry {i}: 0 side of rank {rank} not contiguous"));
+            }
         }
         for i in split..=hi {
-            assert_ne!(self.sparse[i] & (1 << bit), 0, "1 side contiguous");
+            if self.sparse[i] & (1 << bit) == 0 {
+                return Err(format!("entry {i}: 1 side of rank {rank} not contiguous"));
+            }
         }
-        self.check_topology(lo, split - 1, on_path);
+        self.check_topology(lo, split - 1, on_path)?;
         on_path[rank] = true;
-        self.check_topology(split, hi, on_path);
+        let res = self.check_topology(split, hi, on_path);
         on_path[rank] = false;
+        res
     }
 }
 
@@ -793,6 +844,7 @@ mod tests {
         let node_ref = b.encode(&mem);
         let decoded = Builder::decode(node_ref.as_raw());
         assert_eq!(decoded, b);
+        // SAFETY: the node was only just encoded; no other reference exists.
         unsafe { node_ref.as_raw().free(&mem) };
         assert_eq!(mem.bytes(), 0);
     }
@@ -804,6 +856,7 @@ mod tests {
         let b = Builder::pair(4, NodeRef::leaf(1).0, NodeRef::leaf(2).0, 1);
         let r = b.encode(&mem);
         assert_eq!(r.tag(), NodeTag::Single8);
+        // SAFETY: the node was only just encoded; no other reference exists.
         unsafe { r.as_raw().free(&mem) };
 
         // Positions spanning two distant bytes -> Multi8x8.
@@ -819,6 +872,7 @@ mod tests {
         };
         let r = b.encode(&mem);
         assert_eq!(r.tag(), NodeTag::Multi8x8);
+        // SAFETY: the node was only just encoded; no other reference exists.
         unsafe { r.as_raw().free(&mem) };
         assert_eq!(mem.bytes(), 0);
     }

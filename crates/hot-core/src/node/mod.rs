@@ -26,7 +26,12 @@ pub mod builder;
 
 use std::alloc::{alloc_zeroed, dealloc, Layout};
 use std::cell::RefCell;
-use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
+// Lock words and value slots are ROWEX-protocol state: their atomics come
+// from the shim so the loom models can instrument them. The MemCounter
+// below intentionally stays on std atomics — allocation counters are not
+// part of the protocol and would only blow up the model's state space.
+use crate::sync_shim::{AtomicU32, AtomicU64, Ordering};
+use std::sync::atomic::AtomicUsize;
 
 use hot_bits::search::{PADDED_BYTES_U16, PADDED_BYTES_U32, PADDED_BYTES_U8};
 use hot_keys::KEY_PAD_LEN;
@@ -298,7 +303,11 @@ unsafe fn free_block(ptr: *mut u8, size: usize) {
             return;
         }
     }
-    dealloc(ptr, Layout::from_size_align(size, NODE_ALIGN).expect("node layout"));
+    // SAFETY: caller guarantees `ptr`/`size` match the original
+    // `alloc_block` call, which used this same layout computation.
+    unsafe {
+        dealloc(ptr, Layout::from_size_align(size, NODE_ALIGN).expect("node layout"));
+    }
 }
 
 /// Free a node for benchmarking purposes only.
@@ -307,7 +316,9 @@ unsafe fn free_block(ptr: *mut u8, size: usize) {
 /// `r` must be an unpublished node reference created by `Builder::encode`.
 #[doc(hidden)]
 pub unsafe fn free_for_bench(r: NodeRef, mem: &MemCounter) {
-    r.as_raw().free(mem);
+    // SAFETY: caller guarantees `r` is unpublished, so no other reference
+    // exists (the contract of `RawNode::free`).
+    unsafe { r.as_raw().free(mem) };
 }
 
 /// Allocation accounting shared by a tree instance (Figure 9's
@@ -437,12 +448,18 @@ impl RawNode {
         node
     }
 
-    /// Free this node. Caller must guarantee no other references exist (or,
-    /// in the concurrent index, that the epoch guarantees it).
+    /// Free this node.
+    ///
+    /// # Safety
+    /// Caller must guarantee no other references exist (or, in the
+    /// concurrent index, that the epoch guarantees it).
     pub unsafe fn free(self, mem: &MemCounter) {
         let geo = geometry(self.tag, self.count());
         mem.on_free(geo.alloc_size);
-        free_block(self.base, geo.alloc_size);
+        // SAFETY: `base` came from `alloc_block(geo.alloc_size)` (same tag
+        // and count, hence same size), and the caller guarantees no other
+        // reference to this node remains.
+        unsafe { free_block(self.base, geo.alloc_size) };
     }
 
     /// Size of this node's allocation in bytes.
@@ -470,7 +487,10 @@ impl RawNode {
     pub fn lock_word(self) -> &'static AtomicU32 {
         // SAFETY: the first 4 bytes of the header are the lock word, aligned
         // to 4 (node base is 32-byte aligned). Lifetime is managed by the
-        // epoch scheme; callers never hold the reference past the node.
+        // epoch scheme; callers never hold the reference past the node. The
+        // cast is valid in loom-model builds too: the shim's AtomicU32 is
+        // guaranteed #[repr(transparent)] over std's (asserted by
+        // sync_shim::tests::layout_matches_std).
         unsafe { &*(self.base as *const AtomicU32) }
     }
 
@@ -573,6 +593,10 @@ impl RawNode {
     }
 
     /// Load the value word of entry `i`.
+    ///
+    /// Ordering: **Acquire** — pairs with the **Release** in [`store_value`].
+    /// A reader that observes a COW replacement's pointer therefore observes
+    /// the replacement node's fully written body.
     #[inline]
     pub fn value(self, i: usize) -> NodeRef {
         debug_assert!(i < self.count());
@@ -582,6 +606,9 @@ impl RawNode {
 
     /// Store the value word of entry `i` (the "single pointer swap" that
     /// publishes copy-on-write replacements).
+    ///
+    /// Ordering: **Release** — all plain stores that filled the new node
+    /// happen-before this store; pairs with the **Acquire** in [`value`].
     #[inline]
     pub fn store_value(self, i: usize, v: NodeRef) {
         debug_assert!(i < self.count());
@@ -1194,6 +1221,7 @@ mod tests {
         }
         assert!(mem.bytes() > 0);
         assert_eq!(mem.nodes(), 1);
+        // SAFETY: test-local node, no other reference exists.
         unsafe { node.free(&mem) };
         assert_eq!(mem.bytes(), 0);
         assert_eq!(mem.nodes(), 0);
@@ -1216,6 +1244,7 @@ mod tests {
         for (i, &sk) in sparse.iter().enumerate() {
             assert_eq!(node.sparse_key(i), sk);
         }
+        // SAFETY: test-local node, no other reference exists.
         unsafe { node.free(&mem) };
     }
 
@@ -1232,6 +1261,7 @@ mod tests {
         let mut key = hot_keys::PaddedKey::new();
         key.set(&[0b0110_1011, 0b0100_0000]);
         assert_eq!(node.extract_dense(key.padded()), 0b01101);
+        // SAFETY: test-local node, no other reference exists.
         unsafe { node.free(&mem) };
     }
 
@@ -1258,6 +1288,7 @@ mod tests {
             expected = (expected << 1) | hot_bits::bit_at(key.bytes(), p as usize) as u32;
         }
         assert_eq!(node.extract_dense(key.padded()), expected);
+        // SAFETY: test-local node, no other reference exists.
         unsafe { node.free(&mem) };
     }
 
@@ -1308,6 +1339,7 @@ mod tests {
                     "positions {positions:?} probe {probe} tag {tag:?}"
                 );
             }
+            // SAFETY: test-local node, no other reference exists.
             unsafe { node.free(&mem) };
         }
         assert_eq!(mem.bytes(), 0);
@@ -1333,6 +1365,7 @@ mod tests {
             node.read_entries(&mut s, &mut v);
             assert_eq!(s, sparse);
             assert_eq!(v, values);
+            // SAFETY: test-local node, no other reference exists.
             unsafe { node.free(&mem) };
         }
     }
@@ -1356,6 +1389,7 @@ mod tests {
                 assert_eq!(node.value(i).0, values[i]);
             }
             assert_eq!(node.lock_word().load(Ordering::Relaxed), 0, "lock starts clear");
+            // SAFETY: test-local node, no other reference exists.
             unsafe { node.free(&mem) };
         }
         assert_eq!(mem.bytes(), 0);
@@ -1376,6 +1410,7 @@ mod tests {
         assert_eq!(node.search(0b01), 1);
         assert_eq!(node.search(0b10), 2);
         assert_eq!(node.search(0b11), 2); // sparse keys: 10 ⊆ 11 wins
+        // SAFETY: test-local node, no other reference exists.
         unsafe { node.free(&mem) };
     }
 }

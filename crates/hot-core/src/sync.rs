@@ -30,7 +30,10 @@
 //! node locks) may have changed the picture — and restarts when the affected
 //! set no longer matches.
 
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+// All protocol-carrying atomics (root word, len, lock words via `node`)
+// come from the shim so loom models can explore their interleavings; see
+// `crate::sync_shim` for the normal-build/model-build switch.
+use crate::sync_shim::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use crossbeam_epoch as epoch;
@@ -40,10 +43,23 @@ use crate::node::{MemCounter, NodeRef, RawNode, MAX_FANOUT};
 use hot_keys::stats::MemoryStats;
 use hot_keys::{DepthStats, KeySource, PaddedKey, KEY_SCRATCH_LEN, MAX_TID};
 
-const LOCKED: u32 = 1;
-const OBSOLETE: u32 = 2;
+/// Lock-word bit 0: a writer holds this node's write lock.
+pub(crate) const LOCKED: u32 = 1;
+/// Lock-word bit 1: this node was replaced by a copy-on-write and awaits
+/// epoch reclamation; writers must not modify it.
+pub(crate) const OBSOLETE: u32 = 2;
 
 /// Try to acquire a node's write lock. Returns false when contended.
+///
+/// Ordering: the initial load is a **Relaxed optimistic peek** — it only
+/// decides whether to attempt the CAS at all, and a stale value is
+/// harmless because the CAS revalidates the whole word atomically (a
+/// stale "unlocked" fails the CAS; a stale "locked" means one wasted
+/// retry). The CAS success ordering is **Acquire**: it pairs with the
+/// **Release** in [`unlock`], so everything the previous lock holder
+/// wrote to the node happens-before this writer's re-analysis. Failure
+/// ordering is Relaxed — a failed attempt reads no protected data, the
+/// caller just backs off and relocks from scratch.
 #[inline]
 fn try_lock(node: RawNode) -> bool {
     let word = node.lock_word();
@@ -54,16 +70,28 @@ fn try_lock(node: RawNode) -> bool {
             .is_ok()
 }
 
+/// Ordering: **Release** — pairs with the Acquire CAS in [`try_lock`];
+/// all node/slot writes made under the lock happen-before the next
+/// writer's acquisition. (Readers never take locks; they synchronize
+/// through the Release slot/root stores instead.)
 #[inline]
 fn unlock(node: RawNode) {
     node.lock_word().fetch_and(!LOCKED, Ordering::Release);
 }
 
+/// Ordering: **Acquire** — pairs with the Release in [`mark_obsolete`].
+/// A writer that observes OBSOLETE restarts its descent; the pairing
+/// guarantees it then also observes the Release-published replacement
+/// node (no livelock on a stale root/slot).
 #[inline]
 fn is_obsolete(node: RawNode) -> bool {
     node.lock_word().load(Ordering::Acquire) & OBSOLETE != 0
 }
 
+/// Ordering: **Release** — pairs with the Acquire in [`is_obsolete`].
+/// Always called *after* the replacement is Release-published
+/// ([`ConcurrentHot::publish`]), so `OBSOLETE` visible ⇒ replacement
+/// visible.
 #[inline]
 fn mark_obsolete(node: RawNode) {
     node.lock_word().fetch_or(OBSOLETE, Ordering::Release);
@@ -138,6 +166,9 @@ impl<S: KeySource> ConcurrentHot<S> {
     }
 
     /// Number of keys stored.
+    ///
+    /// Ordering: Relaxed — `len` is a monotonic statistics counter, not a
+    /// synchronization point; no reader derives pointer validity from it.
     pub fn len(&self) -> usize {
         self.len.load(Ordering::Relaxed)
     }
@@ -152,6 +183,10 @@ impl<S: KeySource> ConcurrentHot<S> {
         &self.source
     }
 
+    /// Ordering: **Acquire** — pairs with every **Release** store/CAS of
+    /// the root word (`publish`, `cascade_overflow`, `publish_remove`, the
+    /// Grow/UpsertRoot CASes). A descent that observes a new root pointer
+    /// therefore observes the fully `fill`ed node body behind it.
     #[inline]
     fn load_root(&self) -> NodeRef {
         NodeRef(self.root.load(Ordering::Acquire))
@@ -369,6 +404,12 @@ impl<S: KeySource> ConcurrentHot<S> {
                 };
                 Builder::pair(pos, zero, one, 1).encode(&self.mem).0
             };
+            // Ordering: **AcqRel** on success — the Release half publishes the
+            // freshly encoded pair node (all its plain stores happen-before the
+            // CAS), pairing with the Acquire in `load_root`; the Acquire half
+            // orders this thread against whichever CAS installed `expected`.
+            // **Acquire** on failure so the retry loop re-analyzes against a
+            // fully published competing root.
             return match self.root.compare_exchange(
                 expected,
                 new_word,
@@ -376,6 +417,8 @@ impl<S: KeySource> ConcurrentHot<S> {
                 Ordering::Acquire,
             ) {
                 Ok(_) => {
+                    // Ordering: Relaxed — `len` is a statistics counter, never
+                    // used to synchronize access to trie memory.
                     self.len.fetch_add(1, Ordering::Relaxed);
                     Ok(None)
                 }
@@ -391,6 +434,11 @@ impl<S: KeySource> ConcurrentHot<S> {
             };
         }
         if let PlanKind::UpsertRoot { existing } = plan.kind {
+            // Ordering: AcqRel/Acquire for the same reasons as the GrowRoot
+            // CAS above. Both sides of the exchange are tagged leaf words (no
+            // node memory is published), but keeping the strongest ordering
+            // used for root updates keeps the protocol uniform and costs
+            // nothing on x86.
             return match self.root.compare_exchange(
                 NodeRef::leaf(existing).0,
                 NodeRef::leaf(tid).0,
@@ -562,6 +610,7 @@ impl<S: KeySource> ConcurrentHot<S> {
                 };
                 let pushed = Builder::pair(pos, zero, one, 1).encode(&self.mem);
                 raw.store_value(slot, pushed);
+                // Ordering: Relaxed — statistics counter only (see `len`).
                 self.len.fetch_add(1, Ordering::Relaxed);
                 None
             }
@@ -580,6 +629,7 @@ impl<S: KeySource> ConcurrentHot<S> {
                     ) {
                         self.publish(plan, level, new_node, guard);
                         self.retire(raw, guard);
+                        // Ordering: Relaxed — statistics counter only.
                         self.len.fetch_add(1, Ordering::Relaxed);
                         return None;
                     }
@@ -593,6 +643,7 @@ impl<S: KeySource> ConcurrentHot<S> {
                 } else {
                     self.cascade_overflow(plan, level, builder, guard);
                 }
+                // Ordering: Relaxed — statistics counter only.
                 self.len.fetch_add(1, Ordering::Relaxed);
                 None
             }
@@ -623,7 +674,9 @@ impl<S: KeySource> ConcurrentHot<S> {
                 let h = true_height(&[left_ref.0, right_ref.0]);
                 let new_root = Builder::pair(pos, left_ref.0, right_ref.0, h).encode(&self.mem);
                 // The old root is locked and non-obsolete: no other writer
-                // can have swapped the root pointer.
+                // can have swapped the root pointer. Ordering: Release —
+                // publishes the new root's body; pairs with `load_root`'s
+                // Acquire.
                 self.root.store(new_root.0, Ordering::Release);
                 self.retire(old_node, guard);
                 return;
@@ -663,6 +716,11 @@ impl<S: KeySource> ConcurrentHot<S> {
     }
 
     /// Point the slot above `level` (or the root word) at `new`.
+    ///
+    /// Ordering: the root store is **Release** (pairs with `load_root`'s
+    /// Acquire); the slot store goes through `store_value`, which is likewise
+    /// Release (pairing with the Acquire in `value`). Either way a descent
+    /// that observes the new word observes the fully `fill`ed node behind it.
     fn publish(&self, plan: &Plan, level: usize, new: NodeRef, _guard: &epoch::Guard) {
         if level == 0 {
             self.root.store(new.0, Ordering::Release);
@@ -718,6 +776,10 @@ impl<S: KeySource> ConcurrentHot<S> {
             if hot_bits::first_mismatch_bit(stored, key.bytes()).is_some() {
                 return Ok(None);
             }
+            // Ordering: AcqRel/Acquire — matches the other root CASes. No
+            // node memory is published here (leaf word → null), but the
+            // Acquire side keeps a failed retry from re-analyzing against a
+            // half-observed competing root.
             return match self.root.compare_exchange(
                 root.0,
                 0,
@@ -725,6 +787,7 @@ impl<S: KeySource> ConcurrentHot<S> {
                 Ordering::Acquire,
             ) {
                 Ok(_) => {
+                    // Ordering: Relaxed — statistics counter only.
                     self.len.fetch_sub(1, Ordering::Relaxed);
                     Ok(Some(tid))
                 }
@@ -798,6 +861,7 @@ impl<S: KeySource> ConcurrentHot<S> {
                 self.publish_remove(&stack, level, new_node)?;
                 self.retire(raw, guard);
             }
+            // Ordering: Relaxed — statistics counter only.
             self.len.fetch_sub(1, Ordering::Relaxed);
             Ok(Some(tid))
         })();
@@ -815,7 +879,8 @@ impl<S: KeySource> ConcurrentHot<S> {
     ) -> Result<(), ()> {
         if level == 0 {
             // The old root is locked and non-obsolete, so the root word
-            // still points at it.
+            // still points at it. Ordering: Release — publishes the
+            // replacement body; pairs with `load_root`'s Acquire.
             self.root.store(new.0, Ordering::Release);
         } else {
             let (parent, idx) = stack[level - 1];
@@ -854,37 +919,27 @@ impl<S: KeySource> ConcurrentHot<S> {
 
     /// Full structural validation. Call on a quiesced tree.
     pub fn validate(&self) {
-        fn walk(r: NodeRef) -> usize {
-            if !r.is_node() {
-                return 0;
-            }
-            let raw = r.as_raw();
-            assert!((2..=MAX_FANOUT).contains(&raw.count()));
-            Builder::decode(raw).check_invariants();
-            let h = raw.height() as usize;
-            for i in 0..raw.count() {
-                let ch = walk(raw.value(i));
-                assert!(ch < h, "child height {ch} >= node height {h}");
-            }
-            h
+        self.check_invariants();
+    }
+
+    /// Whole-trie structural invariant check (see [`crate::invariants`]):
+    /// fanout bounds, per-node linearization well-formedness, SIMD-search
+    /// self-consistency, strict height decrease, in-order key ordering,
+    /// leaf count, all lock words clear, and full re-lookup of every stored
+    /// key. Returns summary statistics or the first violation.
+    ///
+    /// The index must be quiesced: concurrent writers would trip the
+    /// lock-word and leaf-count checks spuriously.
+    pub fn try_check_invariants(&self) -> Result<crate::InvariantReport, String> {
+        crate::invariants::check_tree(self.load_root(), &self.source, self.len(), |k| self.get(k))
+    }
+
+    /// Panicking wrapper over [`Self::try_check_invariants`]. Test-support.
+    pub fn check_invariants(&self) -> crate::InvariantReport {
+        match self.try_check_invariants() {
+            Ok(report) => report,
+            Err(msg) => panic!("ConcurrentHot invariant violation: {msg}"),
         }
-        walk(self.load_root());
-        let mut count = 0usize;
-        let mut scratch = [0u8; KEY_SCRATCH_LEN];
-        let mut stack = vec![self.load_root()];
-        while let Some(r) = stack.pop() {
-            if r.is_leaf() {
-                count += 1;
-                let k = self.source.load_key(r.tid(), &mut scratch).to_vec();
-                assert_eq!(self.get(&k), Some(r.tid()));
-            } else if r.is_node() {
-                let raw = r.as_raw();
-                for i in 0..raw.count() {
-                    stack.push(raw.value(i));
-                }
-            }
-        }
-        assert_eq!(count, self.len(), "leaf count equals len");
     }
 }
 
@@ -942,10 +997,10 @@ fn plans_compatible(a: &Plan, b: &Plan) -> bool {
 fn backoff_spin(backoff: &mut u32) {
     *backoff = (*backoff + 1).min(10);
     for _ in 0..(1u32 << *backoff) {
-        std::hint::spin_loop();
+        crate::sync_shim::spin_hint();
     }
     if *backoff >= 8 {
-        std::thread::yield_now();
+        crate::sync_shim::yield_now();
     }
 }
 
@@ -961,6 +1016,8 @@ impl<S> Drop for ConcurrentHot<S> {
                 unsafe { raw.free(mem) };
             }
         }
+        // Ordering: Relaxed — `&mut self` proves exclusive access; the drop
+        // glue itself already synchronized with all prior threads.
         free_subtree(NodeRef(self.root.load(Ordering::Relaxed)), &self.mem);
     }
 }
@@ -968,6 +1025,8 @@ impl<S> Drop for ConcurrentHot<S> {
 // SAFETY: all shared mutation is guarded by per-node locks, atomics and
 // epoch-based reclamation; S must be Sync for shared key resolution.
 unsafe impl<S: Sync> Sync for ConcurrentHot<S> {}
+// SAFETY: nodes are plain heap allocations owned (transitively) by the
+// index; moving the index to another thread moves exclusive ownership.
 unsafe impl<S: Send> Send for ConcurrentHot<S> {}
 
 #[cfg(test)]

@@ -581,41 +581,35 @@ impl<S: KeySource> HotTrie<S> {
         stats
     }
 
+    /// Whole-trie structural invariant check (see [`crate::invariants`]):
+    /// fanout bounds, per-node linearization well-formedness, SIMD-search
+    /// self-consistency, strict height decrease, in-order key ordering,
+    /// leaf count, and full re-lookup of every stored key. Returns summary
+    /// statistics or a description of the first violation.
+    pub fn try_check_invariants(&self) -> Result<crate::InvariantReport, String> {
+        crate::invariants::check_tree(self.root, &self.source, self.len, |k| self.get(k))
+    }
+
+    /// Panicking wrapper over [`Self::try_check_invariants`]. Test-support.
+    pub fn check_invariants(&self) -> crate::InvariantReport {
+        match self.try_check_invariants() {
+            Ok(report) => report,
+            Err(msg) => panic!("HotTrie invariant violation: {msg}"),
+        }
+    }
+
     /// Verify every structural invariant; panics on violation. Test-support.
     ///
-    /// Checks, per node: entry count in `2..=32`, well-formed linearization
-    /// (via [`Builder::check_invariants`]), `height(parent) > height(child)`
-    /// for compound children, height 1 nodes hold only leaves, and every
-    /// child subtree's keys share the discriminative-bit prefix that leads
-    /// to it (verified by full re-lookup of every stored key).
+    /// Delegates the structural walk to [`Self::check_invariants`] and
+    /// additionally checks that the public iterator visits exactly `len`
+    /// leaves (cursor coverage the raw walk doesn't exercise).
     pub fn validate(&self) {
-        fn walk(r: NodeRef) -> usize {
-            if !r.is_node() {
-                return 0;
-            }
-            let raw = r.as_raw();
-            assert!((2..=MAX_FANOUT).contains(&raw.count()));
-            Builder::decode(raw).check_invariants();
-            let h = raw.height() as usize;
-            assert!(h >= 1);
-            let mut max_child = 0usize;
-            for i in 0..raw.count() {
-                let child = raw.value(i);
-                let ch = walk(child);
-                assert!(ch < h, "child height {ch} >= node height {h}");
-                max_child = max_child.max(ch);
-            }
-            h
-        }
-        walk(self.root);
-        // Every stored key must be found again through the public path.
-        let mut scratch = [0u8; KEY_SCRATCH_LEN];
-        let tids: Vec<u64> = self.iter().collect();
-        assert_eq!(tids.len(), self.len, "len matches iterated leaf count");
-        for tid in tids {
-            let key = self.source.load_key(tid, &mut scratch).to_vec();
-            assert_eq!(self.get(&key), Some(tid), "stored key must be findable");
-        }
+        self.check_invariants();
+        assert_eq!(
+            self.iter().count(),
+            self.len,
+            "len matches iterated leaf count"
+        );
     }
 
     /// Count of live nodes per physical layout (indexed by `NodeTag as

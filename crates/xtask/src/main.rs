@@ -1,0 +1,438 @@
+//! Workspace automation, invoked as `cargo xtask <command>` (the alias
+//! lives in `.cargo/config.toml`).
+//!
+//! ## `audit-unsafe`
+//!
+//! A custom lint backing the CI `unsafe-audit` job: every `unsafe` site in
+//! the workspace's own sources must carry a written justification.
+//!
+//! * `unsafe { ... }` blocks and `unsafe impl`s need a `// SAFETY:`
+//!   comment — on the same line or in the comment/attribute lines
+//!   immediately above.
+//! * `unsafe fn` declarations need their contract documented: a
+//!   `# Safety` doc section (or a `SAFETY:` comment) above the
+//!   declaration.
+//!
+//! This is deliberately stricter than clippy's
+//! `undocumented_unsafe_blocks` (which the workspace also enables): it
+//! covers `unsafe fn` contracts, runs in a second's time without a full
+//! build, and fails with a file:line listing. The scanner is a small
+//! lexer, not a parser: it strips comments/strings/lifetimes, then
+//! classifies each remaining `unsafe` keyword by the next token.
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        Some("audit-unsafe") => audit_unsafe(),
+        Some(other) => {
+            eprintln!("unknown xtask command: {other}\n\navailable commands:\n  audit-unsafe   check every unsafe site for a SAFETY justification");
+            ExitCode::FAILURE
+        }
+        None => {
+            eprintln!("usage: cargo xtask <command>\n\navailable commands:\n  audit-unsafe   check every unsafe site for a SAFETY justification");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Workspace root: xtask always runs from the workspace (cargo sets the
+/// manifest dir of this crate at `<root>/crates/xtask`).
+fn workspace_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/xtask has a workspace root two levels up")
+        .to_path_buf()
+}
+
+fn audit_unsafe() -> ExitCode {
+    let root = workspace_root();
+    let mut files = Vec::new();
+    // The workspace's own code. `third_party/` is vendored stand-in code we
+    // still hold to the same bar — its unsafe surface is part of the build.
+    for top in ["crates", "third_party", "tests", "examples", "src"] {
+        collect_rs(&root.join(top), &mut files);
+    }
+    files.sort();
+    let mut findings = Vec::new();
+    let mut sites = 0usize;
+    for file in &files {
+        let text = match std::fs::read_to_string(file) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("audit-unsafe: cannot read {}: {e}", file.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        let rel = file.strip_prefix(&root).unwrap_or(file).to_path_buf();
+        sites += audit_file(&rel, &text, &mut findings);
+    }
+    if findings.is_empty() {
+        println!(
+            "audit-unsafe: {} unsafe site(s) across {} file(s), all justified",
+            sites,
+            files.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        for f in &findings {
+            eprintln!("{f}");
+        }
+        eprintln!(
+            "\naudit-unsafe: {} unjustified unsafe site(s) (of {} total). \
+             Add a `// SAFETY:` comment (blocks, impls) or a `# Safety` doc \
+             section (unsafe fns) explaining why the contract holds.",
+            findings.len(),
+            sites
+        );
+        ExitCode::FAILURE
+    }
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            // `target` is build output; nothing else is excluded.
+            if path.file_name().is_some_and(|n| n == "target") {
+                continue;
+            }
+            collect_rs(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// One source line split into code and comment text.
+#[derive(Default)]
+struct Line {
+    code: String,
+    comment: String,
+}
+
+/// Strip strings and split comments from code, line by line. Understands
+/// `//`, `/* */` (nested), string/char/byte literals and raw strings; the
+/// contents of strings are blanked so `"unsafe"` in a string is not a
+/// site, while comment text is preserved for the SAFETY scan.
+fn lex(text: &str) -> Vec<Line> {
+    let mut lines = vec![Line::default()];
+    let bytes = text.as_bytes();
+    let mut i = 0;
+    let mut block_comment_depth = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if c == '\n' {
+            lines.push(Line::default());
+            i += 1;
+            continue;
+        }
+        let cur = lines.last_mut().expect("at least one line");
+        if block_comment_depth > 0 {
+            if bytes[i..].starts_with(b"*/") {
+                block_comment_depth -= 1;
+                i += 2;
+            } else if bytes[i..].starts_with(b"/*") {
+                block_comment_depth += 1;
+                i += 2;
+            } else {
+                cur.comment.push(c);
+                i += 1;
+            }
+            continue;
+        }
+        if bytes[i..].starts_with(b"//") {
+            // Line comment (incl. doc comments): consume to end of line.
+            let end = bytes[i..]
+                .iter()
+                .position(|&b| b == b'\n')
+                .map_or(bytes.len(), |p| i + p);
+            cur.comment.push_str(&text[i..end]);
+            i = end;
+            continue;
+        }
+        if bytes[i..].starts_with(b"/*") {
+            block_comment_depth += 1;
+            i += 2;
+            continue;
+        }
+        if c == '"' || (c == 'r' && is_raw_string_start(&bytes[i..])) || bytes[i..].starts_with(b"b\"") {
+            i = skip_string(text, i);
+            cur.code.push_str("\"\"");
+            continue;
+        }
+        if c == '\'' {
+            // Char literal or lifetime. A lifetime is `'` + ident not
+            // followed by a closing quote.
+            if let Some(end) = char_literal_end(bytes, i) {
+                cur.code.push_str("' '");
+                i = end;
+                continue;
+            }
+            cur.code.push(c);
+            i += 1;
+            continue;
+        }
+        cur.code.push(c);
+        i += 1;
+    }
+    lines
+}
+
+fn is_raw_string_start(rest: &[u8]) -> bool {
+    // r", r#", r##"… (also br" via the b branch falling through here is
+    // fine: `b` lands in code, `r"` is matched).
+    let mut j = 1;
+    while j < rest.len() && rest[j] == b'#' {
+        j += 1;
+    }
+    j < rest.len() && rest[j] == b'"'
+}
+
+/// Byte index just past the string literal starting at `start`.
+fn skip_string(text: &str, start: usize) -> usize {
+    let bytes = text.as_bytes();
+    let mut i = start;
+    if bytes[i] == b'b' {
+        i += 1;
+    }
+    if bytes[i] == b'r' {
+        i += 1;
+        let mut hashes = 0;
+        while bytes[i] == b'#' {
+            hashes += 1;
+            i += 1;
+        }
+        debug_assert_eq!(bytes[i], b'"');
+        i += 1;
+        let closer = format!("\"{}", "#".repeat(hashes));
+        return text[i..]
+            .find(&closer)
+            .map_or(text.len(), |p| i + p + closer.len());
+    }
+    debug_assert_eq!(bytes[i], b'"');
+    i += 1;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'"' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    text.len()
+}
+
+/// Byte index just past a char literal at `start`, or `None` if this is a
+/// lifetime.
+fn char_literal_end(bytes: &[u8], start: usize) -> Option<usize> {
+    let mut i = start + 1;
+    if i >= bytes.len() {
+        return None;
+    }
+    if bytes[i] == b'\\' {
+        i += 2;
+        while i < bytes.len() && bytes[i] != b'\'' {
+            i += 1; // \u{...}
+        }
+        return (i < bytes.len()).then_some(i + 1);
+    }
+    // `'x'` is a char; `'x` (no closing quote right after one char-ish
+    // token) is a lifetime.
+    let ch_len = utf8_len(bytes[i]);
+    i += ch_len;
+    (i < bytes.len() && bytes[i] == b'\'').then_some(i + 1)
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        b if b < 0x80 => 1,
+        b if b >= 0xF0 => 4,
+        b if b >= 0xE0 => 3,
+        _ => 2,
+    }
+}
+
+/// What an `unsafe` keyword introduces.
+#[derive(Clone, Copy, PartialEq)]
+enum Site {
+    Block,
+    Impl,
+    Fn,
+}
+
+/// Scan one lexed file; push findings, return the number of sites.
+fn audit_file(rel: &Path, text: &str, findings: &mut Vec<String>) -> usize {
+    let lines = lex(text);
+    let mut sites = 0;
+    for (idx, line) in lines.iter().enumerate() {
+        for site_col in find_unsafe_keywords(&line.code) {
+            let Some(site) = classify(&lines, idx, site_col) else {
+                continue; // `unsafe` in e.g. `unsafe_code` never matches; skip trait bounds like `unsafe trait` forward decls
+            };
+            sites += 1;
+            if !justified(&lines, idx, site_col, site) {
+                let what = match site {
+                    Site::Block => "unsafe block without a `// SAFETY:` comment",
+                    Site::Impl => "unsafe impl without a `// SAFETY:` comment",
+                    Site::Fn => {
+                        "unsafe fn without a `# Safety` doc section (or SAFETY comment)"
+                    }
+                };
+                let mut f = String::new();
+                let _ = write!(f, "{}:{}: {what}", rel.display(), idx + 1);
+                findings.push(f);
+            }
+        }
+    }
+    sites
+}
+
+/// Column offsets of `unsafe` keywords (word-bounded) in a code line.
+fn find_unsafe_keywords(code: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    let bytes = code.as_bytes();
+    let mut from = 0;
+    while let Some(p) = code[from..].find("unsafe") {
+        let at = from + p;
+        let before_ok = at == 0 || !is_ident_char(bytes[at - 1]);
+        let after = at + "unsafe".len();
+        let after_ok = after >= bytes.len() || !is_ident_char(bytes[after]);
+        if before_ok && after_ok {
+            out.push(at);
+        }
+        from = after;
+    }
+    out
+}
+
+fn is_ident_char(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Look at the token after `unsafe` (possibly on a later line) and decide
+/// what kind of site this is. `unsafe trait` declarations are contracts on
+/// implementors, not sites, and are skipped.
+fn classify(lines: &[Line], line: usize, col: usize) -> Option<Site> {
+    let mut rest = lines[line].code[col + "unsafe".len()..].to_string();
+    let mut next_line = line + 1;
+    loop {
+        let trimmed = rest.trim_start();
+        if !trimmed.is_empty() {
+            return if trimmed.starts_with('{') {
+                Some(Site::Block)
+            } else if trimmed.starts_with("impl") {
+                Some(Site::Impl)
+            } else if trimmed.starts_with("fn") || trimmed.starts_with("extern") {
+                Some(Site::Fn)
+            } else {
+                None // `unsafe trait`, attribute fragments, macro text
+            };
+        }
+        if next_line >= lines.len() {
+            return None;
+        }
+        rest = lines[next_line].code.clone();
+        next_line += 1;
+    }
+}
+
+/// A site is justified by `SAFETY:` (any site) or `# Safety` (fns) — on
+/// the same line, or in the contiguous run of comment/attribute/blank
+/// lines directly above the site (i.e. above the item's attributes and
+/// doc block, nothing else in between).
+fn justified(lines: &[Line], line: usize, _col: usize, site: Site) -> bool {
+    let accept = |l: &Line| {
+        l.comment.contains("SAFETY:")
+            || (site == Site::Fn && l.comment.contains("# Safety"))
+    };
+    if accept(&lines[line]) {
+        return true;
+    }
+    let mut i = line;
+    while i > 0 {
+        i -= 1;
+        let l = &lines[i];
+        if accept(l) {
+            return true;
+        }
+        let code = l.code.trim();
+        let is_attr_or_blank = code.is_empty() || code.starts_with("#[") || code.starts_with("#![");
+        let has_comment = !l.comment.trim().is_empty();
+        if !is_attr_or_blank && !has_comment {
+            return false; // hit a real code line: the run above ended
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn findings(src: &str) -> usize {
+        let mut f = Vec::new();
+        audit_file(Path::new("t.rs"), src, &mut f);
+        f.len()
+    }
+
+    #[test]
+    fn flags_bare_block() {
+        assert_eq!(findings("fn f() { unsafe { g() } }"), 1);
+    }
+
+    #[test]
+    fn accepts_same_line_and_preceding_comment() {
+        assert_eq!(findings("// SAFETY: fine\nlet x = unsafe { g() };"), 0);
+        assert_eq!(findings("let x = unsafe { g() }; // SAFETY: fine"), 0);
+    }
+
+    #[test]
+    fn comment_must_be_adjacent() {
+        assert_eq!(findings("// SAFETY: stale\nlet y = 1;\nlet x = unsafe { g() };"), 1);
+    }
+
+    #[test]
+    fn unsafe_fn_needs_safety_docs() {
+        assert_eq!(findings("unsafe fn f() {}"), 1);
+        assert_eq!(findings("/// # Safety\n/// caller checks\nunsafe fn f() {}"), 0);
+        // Attributes between docs and fn are fine.
+        assert_eq!(
+            findings("/// # Safety\n/// caller checks\n#[inline]\npub unsafe fn f() {}"),
+            0
+        );
+    }
+
+    #[test]
+    fn unsafe_impl_needs_comment() {
+        assert_eq!(findings("unsafe impl Send for T {}"), 1);
+        assert_eq!(findings("// SAFETY: T owns its data\nunsafe impl Send for T {}"), 0);
+    }
+
+    #[test]
+    fn strings_and_comments_are_not_sites() {
+        assert_eq!(findings("let s = \"unsafe { }\";"), 0);
+        assert_eq!(findings("// unsafe { } in a comment\nlet s = 1;"), 0);
+        assert_eq!(findings("let s = r#\"unsafe { }\"#;"), 0);
+    }
+
+    #[test]
+    fn unsafe_trait_is_not_a_site() {
+        assert_eq!(findings("unsafe trait Zeroable {}"), 0);
+    }
+
+    #[test]
+    fn lifetimes_do_not_confuse_the_lexer() {
+        assert_eq!(
+            findings("fn f<'a>(x: &'a u8) -> &'a u8 { x }\n// SAFETY: ok\nlet y = unsafe { g() };"),
+            0
+        );
+    }
+}

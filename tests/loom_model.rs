@@ -1,0 +1,7 @@
+//! Workspace-root entry point for the ROWEX loom scenarios, so the
+//! acceptance command `cargo test --features loom-model` (from the repo
+//! root) runs them without `-p hot-core`. The scenarios live next to the
+//! code they model-check; this file just re-includes them.
+
+#[path = "../crates/hot-core/tests/loom_rowex.rs"]
+mod loom_rowex;

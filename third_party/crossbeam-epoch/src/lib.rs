@@ -44,6 +44,8 @@ struct Bag {
 /// closure may run on another thread at a later time; we inherit that
 /// contract rather than checking it.
 struct Deferred(Box<dyn FnOnce()>);
+// SAFETY: see above — the `defer_unchecked` caller promises the closure
+// is safe to run from whichever thread later flushes the garbage.
 unsafe impl Send for Deferred {}
 
 #[derive(Default)]
@@ -124,9 +126,10 @@ impl Guard {
         let boxed: Box<dyn FnOnce() + '_> = Box::new(move || {
             f();
         });
-        // Erase the lifetime: the caller's contract is precisely that the
-        // closure stays valid until the grace period elapses.
-        let boxed: Box<dyn FnOnce()> = std::mem::transmute(boxed);
+        // SAFETY: the transmute only erases the lifetime; the caller's
+        // contract is precisely that the closure stays valid until the
+        // grace period elapses.
+        let boxed: Box<dyn FnOnce()> = unsafe { std::mem::transmute(boxed) };
         let mut reg = lock();
         // Stamp with the *next* ticket: every currently-live guard holds a
         // strictly smaller ticket, so `stamp <= min(active)` implies they
@@ -177,6 +180,8 @@ mod tests {
         {
             let inner = pin();
             let h = Arc::clone(&hits);
+            // SAFETY: the closure owns its captures and touches no shared state
+            // beyond an atomic counter; safe to run from any thread at any time.
             unsafe { inner.defer_unchecked(move || h.fetch_add(1, Ordering::SeqCst)) };
             drop(inner);
             // `outer` was pinned before the defer, so it must hold it back.
@@ -191,6 +196,8 @@ mod tests {
         let hits = Arc::new(AtomicUsize::new(0));
         let g = pin();
         let h = Arc::clone(&hits);
+        // SAFETY: the closure owns its captures and touches no shared state
+        // beyond an atomic counter; safe to run from any thread at any time.
         unsafe { g.defer_unchecked(move || h.fetch_add(1, Ordering::SeqCst)) };
         let late = pin(); // pinned after the defer: may not observe the garbage
         drop(g);
@@ -204,6 +211,8 @@ mod tests {
         for _ in 0..100 {
             let g = pin();
             let h = Arc::clone(&hits);
+            // SAFETY: the closure owns its captures and touches no shared state
+            // beyond an atomic counter; safe to run from any thread at any time.
             unsafe { g.defer_unchecked(move || h.fetch_add(1, Ordering::SeqCst)) };
         }
         assert_eq!(hits.load(Ordering::SeqCst), 100);
@@ -221,6 +230,8 @@ mod tests {
                     for _ in 0..per {
                         let g = pin();
                         let h = Arc::clone(&hits);
+                        // SAFETY: the closure owns its captures and touches no shared state
+                        // beyond an atomic counter; safe to run from any thread at any time.
                         unsafe { g.defer_unchecked(move || h.fetch_add(1, Ordering::SeqCst)) };
                     }
                 });

@@ -1,0 +1,453 @@
+//! Offline stand-in for the `loom` model checker (0.7 API subset).
+//!
+//! The build container has no crates.io access, so — like `rand`,
+//! `proptest`, `criterion` and `crossbeam-epoch` in this workspace — the
+//! verification layer vendors a minimal, API-compatible implementation of
+//! the part of loom that `hot-core`'s ROWEX models actually use:
+//! [`model`], [`Builder`], [`thread::spawn`]/[`thread::JoinHandle`],
+//! [`thread::yield_now`], and the [`sync::atomic`] integer types.
+//!
+//! # What it checks (and what it does not)
+//!
+//! A model run executes the closure under a **cooperative scheduler**:
+//! exactly one model thread runs at a time, every atomic operation is a
+//! *yield point*, and the scheduler systematically enumerates scheduling
+//! decisions depth-first across repeated executions, bounded by a CHESS
+//! style **preemption bound** (default 2: schedules containing at most two
+//! involuntary context switches — the empirically useful prefix of the
+//! interleaving space). Each schedule runs the program's atomics at
+//! `SeqCst`, so the tool explores **interleavings under sequentially
+//! consistent semantics**. That catches lost updates, broken lock
+//! protocols, ABA-style races, ordering assumptions between *operations*,
+//! and use-after-free of logically retired nodes — the bug classes the
+//! ROWEX protocol is most exposed to.
+//!
+//! It does **not** model C11 weak memory: a schedule never reorders the
+//! effects of a single thread, so bugs that require an `Acquire`/`Release`
+//! pair to be weakened to `Relaxed` are invisible here. Those are covered
+//! by the Miri and ThreadSanitizer CI jobs (see DESIGN.md §10); the real
+//! loom crate would cover them too, and this stand-in keeps its API so the
+//! models port over unchanged.
+//!
+//! # Why `#[repr(transparent)]` atomics
+//!
+//! `hot-core` conjures `&AtomicU32` lock-word references from raw node
+//! memory (`RawNode::lock_word`). Real loom atomics carry per-cell version
+//! state and cannot be materialized from a plain integer in memory. The
+//! stand-in therefore guarantees every `loom::sync::atomic` type is a
+//! `#[repr(transparent)]` wrapper over the matching `std` atomic — all
+//! model bookkeeping lives in the global scheduler, none in the cell — so
+//! the cast stays valid in both build modes.
+//!
+//! # Scheduler mechanics
+//!
+//! Model threads are real OS threads serialized by a `Mutex`/`Condvar`
+//! baton: only the thread the scheduler marked *active* may leave
+//! [`sched::yield_point`]. At each yield point with more than one runnable
+//! candidate the scheduler either replays a recorded decision (exploration
+//! is deterministic) or extends the current schedule with the default
+//! "keep running the active thread" choice, recording the alternatives.
+//! After the run, the driver backtracks the last decision with an untried
+//! alternative that fits the preemption budget and re-executes. A thread
+//! that calls [`thread::yield_now`] is deprioritized until every other
+//! runnable thread has had a chance (this bounds spin/retry loops), and a
+//! global step limit turns genuine livelock into a model failure with a
+//! schedule trace rather than a hang.
+
+#![deny(missing_docs)]
+
+use std::sync::Arc as StdArc;
+use std::sync::Mutex as StdMutex;
+
+mod sched;
+
+pub mod model {
+    //! Model entry points: [`model`](crate::model()) and [`Builder`].
+
+    use super::*;
+    use crate::sched::{self, Decision, Exec};
+
+    /// Serializes model runs: the scheduler state is global, so two
+    /// `#[test]`s must not explore concurrently.
+    static MODEL_LOCK: StdMutex<()> = StdMutex::new(());
+
+    /// Configuration for a model run (subset of loom's `Builder`).
+    #[derive(Debug, Clone)]
+    pub struct Builder {
+        /// Maximum number of involuntary context switches per schedule
+        /// (CHESS-style preemption bounding). `None` means unbounded,
+        /// which is only tractable for tiny models.
+        pub preemption_bound: Option<usize>,
+        /// Cap on explored schedules; exploration stops (with a note on
+        /// stderr) when it is hit. 0 means "no cap".
+        pub max_iterations: u64,
+        /// Cap on scheduling steps within one schedule; exceeding it fails
+        /// the model (livelock guard).
+        pub max_steps: u64,
+        /// Print a one-line summary after a successful run.
+        pub log: bool,
+    }
+
+    impl Default for Builder {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    impl Builder {
+        /// Default configuration; honours `LOOM_MAX_PREEMPTIONS`,
+        /// `LOOM_MAX_ITERATIONS` and `LOOM_MAX_STEPS` env overrides like
+        /// the real crate honours its `LOOM_*` variables.
+        pub fn new() -> Self {
+            fn env(name: &str) -> Option<u64> {
+                std::env::var(name).ok()?.parse().ok()
+            }
+            Builder {
+                preemption_bound: Some(env("LOOM_MAX_PREEMPTIONS").map_or(2, |v| v as usize)),
+                max_iterations: env("LOOM_MAX_ITERATIONS").unwrap_or(200_000),
+                max_steps: env("LOOM_MAX_STEPS").unwrap_or(2_000_000),
+                log: std::env::var("LOOM_LOG").is_ok(),
+            }
+        }
+
+        /// Exhaustively (within the preemption bound) check `f` across
+        /// thread interleavings. Panics — with the failing schedule on
+        /// stderr — if any explored schedule panics or deadlocks.
+        pub fn check<F>(&self, f: F)
+        where
+            F: Fn() + Send + Sync + 'static,
+        {
+            let _serial = MODEL_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+            let f = StdArc::new(f);
+            let bound = self.preemption_bound.unwrap_or(usize::MAX);
+            let mut path: Vec<Decision> = Vec::new();
+            let mut iterations: u64 = 0;
+            loop {
+                iterations += 1;
+                sched::install(Exec::new(std::mem::take(&mut path), bound, self.max_steps));
+                let body = StdArc::clone(&f);
+                let root = std::thread::spawn(move || sched::run_root(move || body()));
+                sched::wait_model_done();
+                let ex = sched::take_exec();
+                let _ = root.join();
+                if let Some(msg) = ex.panic {
+                    eprintln!(
+                        "loom: model failed on schedule #{iterations}\nloom: failing schedule: {}",
+                        ex.failing_trace.unwrap_or_default()
+                    );
+                    panic!("{}", msg);
+                }
+                match sched::next_path(ex.path, bound) {
+                    Some(p) => {
+                        if self.max_iterations != 0 && iterations >= self.max_iterations {
+                            eprintln!("loom: exploration capped at {iterations} schedules");
+                            break;
+                        }
+                        path = p;
+                    }
+                    None => break,
+                }
+            }
+            if self.log {
+                eprintln!("loom: explored {iterations} schedule(s), all passed");
+            }
+        }
+    }
+}
+
+pub use model::Builder;
+
+/// Run `f` under the model checker with the default [`Builder`].
+pub fn model<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    Builder::new().check(f)
+}
+
+/// Number of schedules the default [`Builder`] would explore for `f`.
+///
+/// Convenience for the stand-in's own tests; not part of the real loom API.
+pub fn explore_count<F>(f: F) -> u64
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    use std::sync::atomic::{AtomicU64, Ordering};
+    let count = StdArc::new(AtomicU64::new(0));
+    let c = StdArc::clone(&count);
+    Builder::new().check(move || {
+        c.fetch_add(1, Ordering::Relaxed);
+        f();
+    });
+    count.load(Ordering::Relaxed)
+}
+
+pub mod thread {
+    //! Model-aware threads. Outside a model run these degrade to plain
+    //! `std::thread` so code compiled with the loom feature still works in
+    //! ordinary tests.
+
+    use super::*;
+    use crate::sched;
+
+    /// Handle to a spawned model (or OS) thread.
+    pub struct JoinHandle<T> {
+        inner: Inner<T>,
+    }
+
+    enum Inner<T> {
+        Os(std::thread::JoinHandle<T>),
+        Model {
+            id: usize,
+            result: StdArc<StdMutex<Option<std::thread::Result<T>>>>,
+            os: Option<std::thread::JoinHandle<()>>,
+        },
+    }
+
+    /// Spawn a thread. Inside a model run the thread is registered with
+    /// the scheduler and only runs when scheduled; outside, this is
+    /// `std::thread::spawn`.
+    pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        let Some(me) = sched::current_tid() else {
+            return JoinHandle {
+                inner: Inner::Os(std::thread::spawn(f)),
+            };
+        };
+        let id = sched::register_thread();
+        let result = StdArc::new(StdMutex::new(None));
+        let slot = StdArc::clone(&result);
+        let os = std::thread::spawn(move || {
+            sched::run_child(id, f, slot);
+        });
+        // The child is now runnable: give the scheduler a chance to
+        // preempt the parent right at the spawn boundary.
+        sched::yield_point(me, false);
+        JoinHandle {
+            inner: Inner::Model {
+                id,
+                result,
+                os: Some(os),
+            },
+        }
+    }
+
+    /// Voluntarily cede the processor. Inside a model the calling thread
+    /// is deprioritized until other runnable threads have run (this is
+    /// what keeps `try_lock` retry loops from livelocking the model).
+    pub fn yield_now() {
+        match sched::current_tid() {
+            Some(me) => sched::yield_point(me, true),
+            None => std::thread::yield_now(),
+        }
+    }
+
+    impl<T> JoinHandle<T> {
+        /// Wait for the thread to finish and return its value, propagating
+        /// its panic like `std::thread::JoinHandle::join().unwrap()` — the
+        /// model treats any thread panic as a failed schedule anyway.
+        pub fn join(self) -> std::thread::Result<T> {
+            match self.inner {
+                Inner::Os(h) => h.join(),
+                Inner::Model { id, result, os } => {
+                    if let Some(me) = sched::current_tid() {
+                        sched::join_model_thread(me, id);
+                    }
+                    if let Some(h) = os {
+                        let _ = h.join();
+                    }
+                    let out = result
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .take()
+                        .expect("model thread finished without storing a result");
+                    Ok(match out {
+                        Ok(v) => v,
+                        Err(p) => std::panic::resume_unwind(p),
+                    })
+                }
+            }
+        }
+    }
+}
+
+pub mod sync {
+    //! Synchronization primitives (model-aware atomics plus `Arc`).
+
+    /// Plain `std::sync::Arc`: reference counting needs no exploration —
+    //  only the data races *through* it matter, and those go via atomics.
+    pub use std::sync::Arc;
+
+    pub mod atomic {
+        //! Model-aware atomics. `#[repr(transparent)]` over the `std`
+        //! types so references to them may be conjured from raw memory
+        //! exactly as with `std` atomics (see the crate docs).
+
+        pub use std::sync::atomic::Ordering;
+
+        use crate::sched;
+
+        /// Issue a scheduler yield point; the fence itself is subsumed by
+        /// running every atomic at `SeqCst`.
+        pub fn fence(_order: Ordering) {
+            if let Some(me) = sched::current_tid() {
+                sched::yield_point(me, false);
+            }
+        }
+
+        macro_rules! model_atomic {
+            ($(#[$doc:meta])* $name:ident, $std:ident, $prim:ty) => {
+                $(#[$doc])*
+                #[repr(transparent)]
+                #[derive(Debug, Default)]
+                pub struct $name(std::sync::atomic::$std);
+
+                impl $name {
+                    /// New atomic holding `v`.
+                    pub const fn new(v: $prim) -> Self {
+                        Self(std::sync::atomic::$std::new(v))
+                    }
+
+                    fn hit(&self) {
+                        if let Some(me) = sched::current_tid() {
+                            sched::yield_point(me, false);
+                        }
+                    }
+
+                    /// Model-aware load (runs at `SeqCst`).
+                    pub fn load(&self, _order: Ordering) -> $prim {
+                        self.hit();
+                        self.0.load(Ordering::SeqCst)
+                    }
+
+                    /// Model-aware store (runs at `SeqCst`).
+                    pub fn store(&self, v: $prim, _order: Ordering) {
+                        self.hit();
+                        self.0.store(v, Ordering::SeqCst)
+                    }
+
+                    /// Model-aware swap.
+                    pub fn swap(&self, v: $prim, _order: Ordering) -> $prim {
+                        self.hit();
+                        self.0.swap(v, Ordering::SeqCst)
+                    }
+
+                    /// Model-aware strong compare-exchange.
+                    pub fn compare_exchange(
+                        &self,
+                        current: $prim,
+                        new: $prim,
+                        _success: Ordering,
+                        _failure: Ordering,
+                    ) -> Result<$prim, $prim> {
+                        self.hit();
+                        self.0
+                            .compare_exchange(current, new, Ordering::SeqCst, Ordering::SeqCst)
+                    }
+
+                    /// Weak compare-exchange; deterministic (never spuriously
+                    /// fails) so schedules replay exactly.
+                    pub fn compare_exchange_weak(
+                        &self,
+                        current: $prim,
+                        new: $prim,
+                        success: Ordering,
+                        failure: Ordering,
+                    ) -> Result<$prim, $prim> {
+                        self.compare_exchange(current, new, success, failure)
+                    }
+
+                    /// Model-aware `fetch_add`.
+                    pub fn fetch_add(&self, v: $prim, _order: Ordering) -> $prim {
+                        self.hit();
+                        self.0.fetch_add(v, Ordering::SeqCst)
+                    }
+
+                    /// Model-aware `fetch_sub`.
+                    pub fn fetch_sub(&self, v: $prim, _order: Ordering) -> $prim {
+                        self.hit();
+                        self.0.fetch_sub(v, Ordering::SeqCst)
+                    }
+
+                    /// Model-aware `fetch_or`.
+                    pub fn fetch_or(&self, v: $prim, _order: Ordering) -> $prim {
+                        self.hit();
+                        self.0.fetch_or(v, Ordering::SeqCst)
+                    }
+
+                    /// Model-aware `fetch_and`.
+                    pub fn fetch_and(&self, v: $prim, _order: Ordering) -> $prim {
+                        self.hit();
+                        self.0.fetch_and(v, Ordering::SeqCst)
+                    }
+                }
+            };
+        }
+
+        model_atomic!(
+            /// Model-aware `AtomicU32`.
+            AtomicU32, AtomicU32, u32
+        );
+        model_atomic!(
+            /// Model-aware `AtomicU64`.
+            AtomicU64, AtomicU64, u64
+        );
+        model_atomic!(
+            /// Model-aware `AtomicUsize`.
+            AtomicUsize, AtomicUsize, usize
+        );
+
+        /// Model-aware `AtomicBool` (same shape as the integer atomics,
+        /// minus the arithmetic fetch ops).
+        #[repr(transparent)]
+        #[derive(Debug, Default)]
+        pub struct AtomicBool(std::sync::atomic::AtomicBool);
+
+        impl AtomicBool {
+            /// New atomic holding `v`.
+            pub const fn new(v: bool) -> Self {
+                Self(std::sync::atomic::AtomicBool::new(v))
+            }
+
+            fn hit(&self) {
+                if let Some(me) = sched::current_tid() {
+                    sched::yield_point(me, false);
+                }
+            }
+
+            /// Model-aware load (runs at `SeqCst`).
+            pub fn load(&self, _order: Ordering) -> bool {
+                self.hit();
+                self.0.load(Ordering::SeqCst)
+            }
+
+            /// Model-aware store (runs at `SeqCst`).
+            pub fn store(&self, v: bool, _order: Ordering) {
+                self.hit();
+                self.0.store(v, Ordering::SeqCst)
+            }
+
+            /// Model-aware swap.
+            pub fn swap(&self, v: bool, _order: Ordering) -> bool {
+                self.hit();
+                self.0.swap(v, Ordering::SeqCst)
+            }
+        }
+    }
+}
+
+pub mod hint {
+    //! Spin-loop hint mapped to a voluntary yield so busy-wait loops make
+    //! progress visible to the scheduler instead of monopolizing it.
+
+    /// Model-aware `std::hint::spin_loop`.
+    pub fn spin_loop() {
+        match crate::sched::current_tid() {
+            Some(me) => crate::sched::yield_point(me, true),
+            None => std::hint::spin_loop(),
+        }
+    }
+}

@@ -1,0 +1,388 @@
+//! Cooperative scheduler: one active model thread at a time, deterministic
+//! replay of recorded scheduling decisions, DFS backtracking over untried
+//! alternatives under a preemption bound. See the crate docs for the big
+//! picture; this module is the machinery.
+
+use std::cell::Cell;
+use std::panic::AssertUnwindSafe;
+use std::sync::{Condvar, Mutex, MutexGuard};
+
+/// One recorded scheduling decision: which threads were runnable, which
+/// was chosen, and whether the previously active thread was among the
+/// candidates (switching away from it costs one unit of preemption
+/// budget; switching away from a blocked/finished/yielded thread is free).
+#[derive(Debug, Clone)]
+pub(crate) struct Decision {
+    runnable: Vec<usize>,
+    chosen: usize,
+    active_was: Option<usize>,
+}
+
+impl Decision {
+    fn is_preemption(&self) -> bool {
+        self.active_was.is_some_and(|ai| self.chosen != ai)
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ThState {
+    Runnable,
+    /// Waiting for the thread with this id to finish.
+    Blocked(usize),
+    Finished,
+}
+
+#[derive(Debug)]
+struct Th {
+    state: ThState,
+    /// Set by `yield_now`/`spin_loop`; deprioritizes the thread until all
+    /// other runnable threads have been considered.
+    yielded: bool,
+}
+
+/// State of one schedule execution.
+pub(crate) struct Exec {
+    threads: Vec<Th>,
+    active: usize,
+    /// Replay prefix + extension of the current schedule.
+    pub(crate) path: Vec<Decision>,
+    /// Replay cursor into `path`.
+    pos: usize,
+    preemptions: usize,
+    bound: usize,
+    steps: u64,
+    max_steps: u64,
+    /// First panic message observed in this schedule, if any.
+    pub(crate) panic: Option<String>,
+    /// Schedule trace captured when `panic` was set.
+    pub(crate) failing_trace: Option<String>,
+    /// Set on deadlock/teardown: waiting threads wake up and unwind.
+    abort: bool,
+    /// Threads not yet `Finished`.
+    running: usize,
+}
+
+impl Exec {
+    pub(crate) fn new(path: Vec<Decision>, bound: usize, max_steps: u64) -> Exec {
+        Exec {
+            threads: vec![Th {
+                state: ThState::Runnable,
+                yielded: false,
+            }],
+            active: 0,
+            path,
+            pos: 0,
+            preemptions: 0,
+            bound,
+            steps: 0,
+            max_steps,
+            panic: None,
+            failing_trace: None,
+            abort: false,
+            running: 1,
+        }
+    }
+
+    fn trace_string(&self) -> String {
+        let mut out = String::new();
+        for d in &self.path[..self.pos] {
+            if !out.is_empty() {
+                out.push(' ');
+            }
+            out.push('t');
+            out.push_str(&d.runnable[d.chosen.min(d.runnable.len() - 1)].to_string());
+            if d.is_preemption() {
+                out.push('!');
+            }
+        }
+        out
+    }
+
+    fn fail(&mut self, msg: String) {
+        if self.panic.is_none() {
+            self.failing_trace = Some(self.trace_string());
+            self.panic = Some(msg);
+        }
+    }
+
+    fn set_active(&mut self, id: usize) {
+        self.active = id;
+        self.threads[id].yielded = false;
+    }
+
+    /// Pick the next active thread. Called whenever the current thread
+    /// yields, blocks, or finishes.
+    fn schedule(&mut self) {
+        if self.abort {
+            return;
+        }
+        let runnable: Vec<usize> = self
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.state == ThState::Runnable)
+            .map(|(i, _)| i)
+            .collect();
+        if runnable.is_empty() {
+            if self.running > 0 {
+                self.fail("deadlock: every live thread is blocked on a join".into());
+                self.abort = true;
+            }
+            return;
+        }
+        // Yield-aware candidate set: threads that called `yield_now` wait
+        // until every non-yielded runnable thread has had its turn.
+        let fresh: Vec<usize> = runnable
+            .iter()
+            .copied()
+            .filter(|&i| !self.threads[i].yielded)
+            .collect();
+        let cands = if fresh.is_empty() {
+            for &i in &runnable {
+                self.threads[i].yielded = false;
+            }
+            runnable
+        } else {
+            fresh
+        };
+        if cands.len() == 1 {
+            self.set_active(cands[0]);
+            return;
+        }
+        let active_idx = (self.threads[self.active].state == ThState::Runnable)
+            .then(|| cands.iter().position(|&t| t == self.active))
+            .flatten();
+        let chosen_idx = if self.pos < self.path.len() {
+            // Replay: exploration is deterministic, so the candidate set
+            // matches the recorded one; the clamp is purely defensive.
+            let c = self.path[self.pos].chosen.min(cands.len() - 1);
+            self.pos += 1;
+            c
+        } else {
+            if let Some(ai) = active_idx {
+                if self.preemptions >= self.bound {
+                    // Budget spent: continuing the active thread is forced,
+                    // so no decision is recorded (nothing to backtrack).
+                    self.set_active(cands[ai]);
+                    return;
+                }
+            }
+            let c = active_idx.unwrap_or(0);
+            self.path.push(Decision {
+                runnable: cands.clone(),
+                chosen: c,
+                active_was: active_idx,
+            });
+            self.pos += 1;
+            c
+        };
+        if let Some(ai) = active_idx {
+            if chosen_idx != ai {
+                self.preemptions += 1;
+            }
+        }
+        self.set_active(cands[chosen_idx]);
+    }
+}
+
+static STATE: Mutex<Option<Exec>> = Mutex::new(None);
+static CV: Condvar = Condvar::new();
+
+thread_local! {
+    static TID: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+type StateGuard = MutexGuard<'static, Option<Exec>>;
+
+fn lock_state() -> StateGuard {
+    STATE.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Model-thread id of the calling thread, or `None` outside a model run.
+pub(crate) fn current_tid() -> Option<usize> {
+    TID.with(|t| t.get())
+}
+
+/// Install the execution state for a fresh schedule.
+pub(crate) fn install(ex: Exec) {
+    let mut st = lock_state();
+    assert!(st.is_none(), "model already running");
+    *st = Some(ex);
+}
+
+/// Block the driver until every model thread has finished.
+pub(crate) fn wait_model_done() {
+    let mut st = lock_state();
+    loop {
+        match st.as_ref() {
+            Some(ex) if ex.running > 0 => {
+                st = CV.wait(st).unwrap_or_else(|e| e.into_inner());
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Tear down and return the finished execution state.
+pub(crate) fn take_exec() -> Exec {
+    lock_state().take().expect("no model execution to take")
+}
+
+/// Wait (on the baton condvar) until this thread is the active one.
+/// Panics — unwinding out of the model code — if the run was aborted.
+fn wait_active(mut st: StateGuard, me: usize) -> StateGuard {
+    loop {
+        match st.as_ref() {
+            Some(ex) if ex.abort => {
+                drop(st);
+                panic!("loom: model run aborted");
+            }
+            Some(ex) if ex.active == me => return st,
+            Some(_) => {}
+            None => return st,
+        }
+        st = CV.wait(st).unwrap_or_else(|e| e.into_inner());
+    }
+}
+
+/// The heart of the model: every atomic operation funnels through here.
+/// `voluntary` marks `yield_now`/`spin_loop` calls for deprioritization.
+pub(crate) fn yield_point(me: usize, voluntary: bool) {
+    let mut st = lock_state();
+    let Some(ex) = st.as_mut() else { return };
+    if ex.abort {
+        drop(st);
+        panic!("loom: model run aborted");
+    }
+    ex.steps += 1;
+    if ex.steps > ex.max_steps {
+        let msg = format!(
+            "loom: schedule exceeded {} steps — livelock or unbounded loop in the model",
+            ex.max_steps
+        );
+        ex.fail(msg.clone());
+        drop(st);
+        panic!("{}", msg);
+    }
+    if voluntary {
+        ex.threads[me].yielded = true;
+    }
+    ex.schedule();
+    CV.notify_all();
+    let st = wait_active(st, me);
+    drop(st);
+}
+
+/// Register a freshly spawned model thread; returns its id.
+pub(crate) fn register_thread() -> usize {
+    let mut st = lock_state();
+    let ex = st.as_mut().expect("spawn outside a model run");
+    ex.threads.push(Th {
+        state: ThState::Runnable,
+        yielded: false,
+    });
+    ex.running += 1;
+    ex.threads.len() - 1
+}
+
+fn payload_msg(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "model thread panicked (non-string payload)".into()
+    }
+}
+
+/// Mark `id` finished (recording its panic, if any), wake joiners, and
+/// hand the baton to the next thread.
+fn finish(id: usize, panic_msg: Option<String>) {
+    let mut st = lock_state();
+    let Some(ex) = st.as_mut() else { return };
+    ex.threads[id].state = ThState::Finished;
+    ex.threads[id].yielded = false;
+    ex.running -= 1;
+    if let Some(msg) = panic_msg {
+        ex.fail(msg);
+    }
+    for t in &mut ex.threads {
+        if t.state == ThState::Blocked(id) {
+            t.state = ThState::Runnable;
+        }
+    }
+    if ex.running > 0 {
+        ex.schedule();
+    }
+    CV.notify_all();
+}
+
+/// Body of the root model thread (id 0): run the model closure, record
+/// the outcome, release the baton.
+pub(crate) fn run_root<F: FnOnce()>(f: F) {
+    TID.with(|t| t.set(Some(0)));
+    let out = std::panic::catch_unwind(AssertUnwindSafe(f));
+    let msg = out.err().map(|p| payload_msg(p.as_ref()));
+    finish(0, msg);
+}
+
+/// Body of a spawned model thread: wait to be scheduled for the first
+/// time, run, store the result where `join` will find it, finish.
+pub(crate) fn run_child<T, F>(
+    id: usize,
+    f: F,
+    slot: std::sync::Arc<Mutex<Option<std::thread::Result<T>>>>,
+) where
+    F: FnOnce() -> T,
+{
+    TID.with(|t| t.set(Some(id)));
+    {
+        let st = lock_state();
+        let st = wait_active(st, id);
+        drop(st);
+    }
+    let out = std::panic::catch_unwind(AssertUnwindSafe(f));
+    let msg = out.as_ref().err().map(|p| payload_msg(p.as_ref()));
+    *slot.lock().unwrap_or_else(|e| e.into_inner()) = Some(out);
+    finish(id, msg);
+}
+
+/// Block model thread `me` until model thread `target` finishes.
+pub(crate) fn join_model_thread(me: usize, target: usize) {
+    let mut st = lock_state();
+    let Some(ex) = st.as_mut() else { return };
+    if ex.threads[target].state == ThState::Finished {
+        return;
+    }
+    ex.threads[me].state = ThState::Blocked(target);
+    ex.schedule();
+    CV.notify_all();
+    let st = wait_active(st, me);
+    drop(st);
+}
+
+/// Backtracking: produce the next schedule to explore, or `None` when the
+/// (preemption-bounded) space is exhausted. Pops decisions from the end
+/// until one has an untried alternative that fits the preemption budget.
+pub(crate) fn next_path(mut path: Vec<Decision>, bound: usize) -> Option<Vec<Decision>> {
+    loop {
+        let last = path.pop()?;
+        let used: usize = path.iter().filter(|d| d.is_preemption()).count();
+        let mut c = last.chosen + 1;
+        while c < last.runnable.len() {
+            let cost = match last.active_was {
+                Some(ai) => usize::from(c != ai),
+                None => 0,
+            };
+            if used + cost <= bound {
+                path.push(Decision {
+                    runnable: last.runnable,
+                    chosen: c,
+                    active_was: last.active_was,
+                });
+                return Some(path);
+            }
+            c += 1;
+        }
+    }
+}
