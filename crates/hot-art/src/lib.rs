@@ -592,6 +592,81 @@ impl<S: KeySource> Art<S> {
         result
     }
 
+    /// Bulk-build the tree from key-sorted `(key, tid)` pairs (duplicate
+    /// keys collapse, last write wins) in one bottom-up pass: each node's
+    /// compressed path is the longest common prefix of its key run (taken
+    /// from the run's first and last key — sorted input makes that the lcp
+    /// of the whole run), and children partition the run by the next byte.
+    /// This produces exactly the path-compressed structure incremental
+    /// inserts converge to, without any transient node4→16→48→256 growth.
+    ///
+    /// Returns the number of distinct keys loaded.
+    ///
+    /// # Panics
+    /// Panics if the tree is not empty or the input is not sorted
+    /// ascending.
+    pub fn bulk_load<K: AsRef<[u8]>>(&mut self, entries: &[(K, u64)]) -> usize {
+        assert!(
+            self.root.is_null() && self.len == 0,
+            "bulk load requires an empty tree"
+        );
+        let mut keys: Vec<&[u8]> = Vec::with_capacity(entries.len());
+        let mut tids: Vec<u64> = Vec::with_capacity(entries.len());
+        for (key, tid) in entries {
+            let key = key.as_ref();
+            assert!(*tid <= MAX_TID, "tid exceeds MAX_TID");
+            match keys.last() {
+                Some(&prev) if prev == key => {
+                    *tids.last_mut().expect("prev implies an entry") = *tid;
+                    continue;
+                }
+                Some(&prev) => assert!(prev < key, "bulk-load input is not sorted"),
+                None => {}
+            }
+            keys.push(key);
+            tids.push(*tid);
+        }
+        let n = keys.len();
+        self.root = match n {
+            0 => Child::NULL,
+            1 => Child::leaf(tids[0]),
+            _ => self.bulk_rec(&keys, &tids, 0, n - 1, 0),
+        };
+        self.len = n;
+        n
+    }
+
+    /// Build the subtree for the sorted key run `lo..=hi`, whose keys all
+    /// agree on (zero-padded) bytes before `depth`.
+    fn bulk_rec(&mut self, keys: &[&[u8]], tids: &[u64], lo: usize, hi: usize, depth: usize) -> Child {
+        if lo == hi {
+            return Child::leaf(tids[lo]);
+        }
+        // Longest common prefix of the run from `depth`: sorted input makes
+        // the first/last pair the minimum over all pairs.
+        let mut p = depth;
+        while p < KEY_PAD_LEN - 1 && byte_at(keys[lo], p) == byte_at(keys[hi], p) {
+            p += 1;
+        }
+        let prefix: Vec<u8> = (depth..p).map(|i| byte_at(keys[lo], i)).collect();
+        let mut node = Node::new_n4(&prefix);
+        let mut a = lo;
+        while a <= hi {
+            let byte = byte_at(keys[a], p);
+            let mut e = a;
+            while e < hi && byte_at(keys[e + 1], p) == byte {
+                e += 1;
+            }
+            let child = self.bulk_rec(keys, tids, a, e, p + 1);
+            if node.is_full() {
+                node.grow();
+            }
+            node.add_child(byte, child);
+            a = e + 1;
+        }
+        self.alloc(node)
+    }
+
     fn root_slot(&mut self) -> *mut Child {
         &mut self.root
     }
@@ -943,6 +1018,16 @@ fn min_leaf(node: &Node) -> u64 {
 }
 
 /// First byte index `>= from` where the padded keys differ.
+/// Byte `i` of `key` under the zero-padding convention.
+#[inline]
+fn byte_at(key: &[u8], i: usize) -> u8 {
+    if i < key.len() {
+        key[i]
+    } else {
+        0
+    }
+}
+
 fn mismatch_byte(a: &[u8; KEY_PAD_LEN], b: &[u8; KEY_PAD_LEN], from: usize) -> usize {
     (from..KEY_PAD_LEN)
         .find(|&i| a[i] != b[i])
@@ -1189,5 +1274,69 @@ mod tests {
             t.iter().collect::<Vec<_>>(),
             model.values().copied().collect::<Vec<_>>()
         );
+    }
+
+    #[test]
+    fn bulk_load_matches_incremental() {
+        let mut x = 0xABCDu64;
+        let mut keys: Vec<u64> = (0..5_000)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                x % 1_000_000
+            })
+            .collect();
+        let incr = int_art(&keys);
+        keys.sort_unstable();
+        keys.dedup();
+        let entries: Vec<([u8; 8], u64)> = keys.iter().map(|&k| (encode_u64(k), k)).collect();
+        let mut bulk = Art::new(EmbeddedKeySource);
+        assert_eq!(bulk.bulk_load(&entries), keys.len());
+        bulk.validate();
+        assert_eq!(bulk.len(), incr.len());
+        assert_eq!(bulk.iter().collect::<Vec<_>>(), incr.iter().collect::<Vec<_>>());
+        for &k in keys.iter().step_by(37) {
+            assert_eq!(bulk.get(&encode_u64(k)), Some(k));
+            assert_eq!(bulk.get(&encode_u64(k + 1)), incr.get(&encode_u64(k + 1)));
+        }
+        // Bottom-up construction allocates each node in its final layout,
+        // so the footprint never exceeds the incremental build's.
+        assert!(bulk.memory_stats().node_count <= incr.memory_stats().node_count);
+    }
+
+    #[test]
+    fn bulk_load_strings_duplicates_and_edge_cases() {
+        let mut arena = ArenaKeySource::new();
+        let words = ["art", "arterial", "artist", "bar", "bar", "baz", "zoo"];
+        let keys: Vec<Vec<u8>> = words
+            .iter()
+            .map(|w| hot_keys::str_key(w.as_bytes()).unwrap())
+            .collect();
+        let tids: Vec<u64> = keys.iter().map(|k| arena.push(k)).collect();
+        let entries: Vec<(&[u8], u64)> = keys
+            .iter()
+            .map(|k| k.as_slice())
+            .zip(tids.iter().copied())
+            .collect();
+        let mut t = Art::new(&arena);
+        assert_eq!(t.bulk_load(&entries), 6, "duplicate bar collapses");
+        t.validate();
+        // Last write wins on the duplicate.
+        assert_eq!(t.get(&keys[3]), Some(tids[4]));
+        assert_eq!(t.get(&keys[0]), Some(tids[0]));
+
+        let mut empty = Art::new(EmbeddedKeySource);
+        assert_eq!(empty.bulk_load::<[u8; 8]>(&[]), 0);
+        assert!(empty.is_empty());
+        assert_eq!(empty.bulk_load(&[(encode_u64(9), 9u64)]), 1);
+        assert_eq!(empty.get(&encode_u64(9)), Some(9));
+    }
+
+    #[test]
+    #[should_panic(expected = "not sorted")]
+    fn bulk_load_rejects_unsorted() {
+        let mut t = Art::new(EmbeddedKeySource);
+        t.bulk_load(&[(encode_u64(5), 5u64), (encode_u64(1), 1u64)]);
     }
 }

@@ -13,6 +13,12 @@
 //! scalar/batched pairs are also written to `results/BENCH_batch.json`.
 //! Checksums of the two paths are asserted equal.
 //!
+//! With `--bulk`, two extra load-phase rows appear per structure:
+//! `load_bulk` (sorted input through the bottom-up builder, one thread) and
+//! `load_bulk_par` (same builder, worker budget = max of `--threads`). The
+//! incremental/bulk triples land in `results/BENCH_bulk.json`, and every
+//! bulk-built index is spot-checked to resolve the keys it was loaded with.
+//!
 //! ```text
 //! cargo run --release -p hot-bench --bin fig8_throughput -- --keys 1000000 --ops 2000000 --batch 8
 //! ```
@@ -25,7 +31,8 @@
 //! throughput is unchanged; the run aborts on the first violation.
 
 use hot_bench::{
-    all_indexes, row, run_load, run_transactions, run_transactions_batched, BenchData, Config,
+    all_indexes, row, run_load, run_load_bulk, run_transactions, run_transactions_batched,
+    BenchData, Config,
 };
 use hot_ycsb::{Dataset, DatasetKind, RequestDistribution, Workload, WorkloadRun};
 
@@ -35,6 +42,16 @@ struct BatchRecord {
     structure: &'static str,
     scalar_mops: f64,
     batched_mops: f64,
+}
+
+/// One incremental/bulk load-phase triple for the `--bulk` JSON report.
+struct BulkRecord {
+    dataset: &'static str,
+    structure: &'static str,
+    incremental_mops: f64,
+    bulk_seq_mops: f64,
+    bulk_par_mops: f64,
+    bulk_threads: usize,
 }
 
 fn main() {
@@ -53,6 +70,7 @@ fn main() {
     ]);
 
     let mut records: Vec<BatchRecord> = Vec::new();
+    let mut bulk_records: Vec<BulkRecord> = Vec::new();
 
     for kind in DatasetKind::ALL {
         // Reserve insert keys for workload E.
@@ -69,9 +87,11 @@ fn main() {
             config.seed,
         ));
 
+        let mut incremental_load: Vec<f64> = Vec::new();
         for mut index in all_indexes(&data.arena) {
             // Insert-only = the load phase itself.
             let load_mops = run_load(index.as_mut(), &data, config.keys);
+            incremental_load.push(load_mops);
             check_index(&config, index.as_ref(), kind.label(), "load");
 
             // Workload C (100% lookup), scalar then batched over the same
@@ -132,9 +152,66 @@ fn main() {
                 index.name()
             );
         }
+
+        // `--bulk`: load two more fresh sets of indexes over the same data —
+        // one through the sequential bottom-up builder, one with the full
+        // worker budget — and report load throughput next to the
+        // insert-loop number from above.
+        if config.bulk {
+            let par_threads = config.threads.iter().copied().max().unwrap_or(1);
+            let seq = all_indexes(&data.arena);
+            let par = all_indexes(&data.arena);
+            for (i, (mut s, mut p)) in seq.into_iter().zip(par).enumerate() {
+                let seq_mops = run_load_bulk(s.as_mut(), &data, config.keys, 1);
+                check_index(&config, s.as_ref(), kind.label(), "bulk load");
+                let par_mops = run_load_bulk(p.as_mut(), &data, config.keys, par_threads);
+                check_index(&config, p.as_ref(), kind.label(), "parallel bulk load");
+                verify_bulk_gets(&data, s.as_ref(), p.as_ref(), config.keys);
+                row(&[
+                    "load_bulk".into(),
+                    kind.label().into(),
+                    s.name().into(),
+                    format!("{seq_mops:.3}"),
+                ]);
+                row(&[
+                    "load_bulk_par".into(),
+                    kind.label().into(),
+                    s.name().into(),
+                    format!("{par_mops:.3}"),
+                ]);
+                bulk_records.push(BulkRecord {
+                    dataset: kind.label(),
+                    structure: s.name(),
+                    incremental_mops: incremental_load[i],
+                    bulk_seq_mops: seq_mops,
+                    bulk_par_mops: par_mops,
+                    bulk_threads: par_threads,
+                });
+            }
+        }
     }
 
     write_batch_json(&config, &records);
+    if config.bulk {
+        write_bulk_json(&config, &bulk_records);
+    }
+}
+
+/// Bulk-built indexes must resolve exactly the keys they were loaded with.
+/// Samples the key set (always on — the cost is outside any timed region).
+fn verify_bulk_gets(
+    data: &BenchData,
+    seq: &dyn hot_bench::BenchIndex,
+    par: &dyn hot_bench::BenchIndex,
+    load_n: usize,
+) {
+    let step = (load_n / 1024).max(1);
+    for i in (0..load_n).step_by(step) {
+        let key = &data.dataset.keys[i];
+        let want = Some(data.tids[i]);
+        assert_eq!(seq.get(key), want, "sequential bulk load lost a key");
+        assert_eq!(par.get(key), want, "parallel bulk load lost a key");
+    }
 }
 
 /// `--check` hook: verify the index's structural invariants between (never
@@ -182,5 +259,38 @@ fn write_batch_json(config: &Config, records: &[BatchRecord]) {
         eprintln!("# could not write results/BENCH_batch.json: {e}");
     } else {
         eprintln!("# wrote results/BENCH_batch.json");
+    }
+}
+
+/// Hand-rolled JSON: incremental vs. sequential-bulk vs. parallel-bulk load
+/// throughput per (dataset, structure), written only under `--bulk`.
+fn write_bulk_json(config: &Config, records: &[BulkRecord]) {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"fig8_bulk_load\",\n");
+    out.push_str(&format!(
+        "  \"keys\": {}, \"seed\": {},\n",
+        config.keys, config.seed
+    ));
+    out.push_str("  \"rows\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"dataset\": \"{}\", \"structure\": \"{}\", \"incremental_mops\": {:.3}, \"bulk_seq_mops\": {:.3}, \"bulk_par_mops\": {:.3}, \"bulk_threads\": {}}}{}\n",
+            r.dataset,
+            r.structure,
+            r.incremental_mops,
+            r.bulk_seq_mops,
+            r.bulk_par_mops,
+            r.bulk_threads,
+            if i + 1 < records.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    if let Err(e) = std::fs::create_dir_all("results")
+        .and_then(|()| std::fs::write("results/BENCH_bulk.json", &out))
+    {
+        eprintln!("# could not write results/BENCH_bulk.json: {e}");
+    } else {
+        eprintln!("# wrote results/BENCH_bulk.json");
     }
 }

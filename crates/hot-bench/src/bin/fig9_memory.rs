@@ -10,15 +10,25 @@
 //! ```text
 //! cargo run --release -p hot-bench --bin fig9_memory -- --keys 1000000
 //! ```
+//!
+//! With `--bulk` the indexes are built through [`BenchIndex::bulk_load`]
+//! over pre-sorted keys instead of the insert loop, so the figure reports
+//! the footprint of bulk-built structures (never larger for HOT: the
+//! bottom-up builder packs nodes at least as densely as incremental COW
+//! growth).
+//!
+//! [`BenchIndex::bulk_load`]: hot_bench::BenchIndex::bulk_load
 
-use hot_bench::{all_indexes, row, run_load, BenchData, Config};
+use hot_bench::{all_indexes, row, run_load, run_load_bulk, BenchData, Config};
 use hot_ycsb::{Dataset, DatasetKind};
 
 fn main() {
     let config = Config::from_args();
     println!(
-        "# Figure 9: index memory after loading {} keys (seed={})",
-        config.keys, config.seed
+        "# Figure 9: index memory after loading {} keys (seed={}, load={})",
+        config.keys,
+        config.seed,
+        if config.bulk { "bulk" } else { "insert-loop" }
     );
     println!("# paper_shape: HOT smallest everywhere (11-15 B/key); BT constant across data sets (~88% above HOT); Masstree worst on url (+230% vs its integer footprint); ART +51%");
     row(&[
@@ -36,7 +46,11 @@ fn main() {
         let raw_keys = data.dataset.raw_key_bytes();
         let tid_floor = config.keys * 8;
         for mut index in all_indexes(&data.arena) {
-            run_load(index.as_mut(), &data, config.keys);
+            if config.bulk {
+                run_load_bulk(index.as_mut(), &data, config.keys, 1);
+            } else {
+                run_load(index.as_mut(), &data, config.keys);
+            }
             let stats = index.memory();
             row(&[
                 kind.label().into(),

@@ -174,6 +174,77 @@ impl<S: KeySource> BPlusTree<S> {
         }
     }
 
+    /// Bulk-build the tree from key-sorted `(key, tid)` pairs (duplicate
+    /// keys collapse, last write wins), bottom-up: the deduplicated TID
+    /// words fill leaves level by level, every level distributing its slots
+    /// as evenly as possible over `ceil(n / 16)` nodes so each node holds at
+    /// least `MIN_FILL` entries (the classic B+-tree bulk load), with
+    /// `seps[i]` taken as the first word of `children[i + 1]`'s run. All
+    /// leaves end up at the same depth and no transient splits happen.
+    ///
+    /// Returns the number of distinct keys loaded.
+    ///
+    /// # Panics
+    /// Panics if the tree is not empty or the input is not sorted
+    /// ascending.
+    pub fn bulk_load<K: AsRef<[u8]>>(&mut self, entries: &[(K, u64)]) -> usize {
+        assert!(
+            self.root.is_none() && self.len == 0,
+            "bulk load requires an empty tree"
+        );
+        let mut words: Vec<u64> = Vec::with_capacity(entries.len());
+        let mut prev: Option<&[u8]> = None;
+        for (key, tid) in entries {
+            let key = key.as_ref();
+            assert!(*tid <= MAX_TID, "tid exceeds MAX_TID");
+            match prev {
+                Some(p) if p == key => {
+                    *words.last_mut().expect("prev implies an entry") = *tid;
+                    continue;
+                }
+                Some(p) => assert!(p < key, "bulk-load input is not sorted"),
+                None => {}
+            }
+            prev = Some(key);
+            words.push(*tid);
+        }
+        let n = words.len();
+        if n == 0 {
+            return 0;
+        }
+        // Leaf level: (first word of the run, node) pairs.
+        let mut level: Vec<(u64, Box<Node>)> = even_chunks(n)
+            .map(|(a, b)| {
+                let keys = words[a..b].to_vec();
+                (
+                    words[a],
+                    Box::new(Node::Leaf {
+                        tids: keys.clone(),
+                        keys,
+                    }),
+                )
+            })
+            .collect();
+        // Stack inner levels until one node remains.
+        while level.len() > 1 {
+            let ranges: Vec<(usize, usize)> = even_chunks(level.len()).collect();
+            let mut nodes = level.into_iter();
+            let mut next: Vec<(u64, Box<Node>)> = Vec::with_capacity(ranges.len());
+            for (a, b) in ranges {
+                let group: Vec<(u64, Box<Node>)> =
+                    (a..b).map(|_| nodes.next().expect("sized")).collect();
+                let min = group[0].0;
+                let seps: Vec<u64> = group[1..].iter().map(|g| g.0).collect();
+                let children: Vec<Box<Node>> = group.into_iter().map(|g| g.1).collect();
+                next.push((min, Box::new(Node::Inner { seps, children })));
+            }
+            level = next;
+        }
+        self.root = Some(level.pop().expect("one node remains").1);
+        self.len = n;
+        n
+    }
+
     fn insert_rec(source: &S, node: &mut Node, key: &[u8], tid: u64) -> InsertResult {
         match node {
             Node::Leaf { keys, tids } => {
@@ -506,6 +577,15 @@ impl<S: KeySource> BPlusTree<S> {
     }
 }
 
+/// Split `n` items into `ceil(n / FANOUT)` contiguous half-open chunks
+/// whose sizes differ by at most one — every chunk holds at least
+/// `MIN_FILL` items once `n >= MIN_FILL`, which is what lets the bulk
+/// loader satisfy the structural fill invariant without tail rebalancing.
+fn even_chunks(n: usize) -> impl Iterator<Item = (usize, usize)> {
+    let groups = n.div_ceil(FANOUT);
+    (0..groups).map(move |g| (g * n / groups, (g + 1) * n / groups))
+}
+
 /// Ordered iterator over leaf TIDs.
 pub struct Cursor<'a> {
     frames: Vec<(&'a Node, usize)>,
@@ -701,5 +781,63 @@ mod tests {
         assert_eq!(d.min_depth(), d.max_depth());
         // fanout 16, 10k keys -> depth 4-5 (sorted inserts halve fill).
         assert!(d.max_depth().unwrap() <= 6);
+    }
+
+    #[test]
+    fn bulk_load_matches_incremental() {
+        // Sweep sizes around the fill-invariant edge cases: single leaf,
+        // one over a leaf, exact multiples and awkward tails.
+        for n in [1u64, 7, 16, 17, 32, 100, 255, 256, 257, 4096, 9999] {
+            let keys: Vec<u64> = (0..n).map(|i| i * 31 % (n * 7)).collect();
+            let incr = int_tree(&keys);
+            let mut sorted = keys.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            let entries: Vec<([u8; 8], u64)> =
+                sorted.iter().map(|&k| (encode_u64(k), k)).collect();
+            let mut bulk = BPlusTree::new(EmbeddedKeySource);
+            assert_eq!(bulk.bulk_load(&entries), sorted.len(), "n={n}");
+            bulk.validate();
+            assert_eq!(bulk.len(), incr.len(), "n={n}");
+            assert_eq!(
+                bulk.iter().collect::<Vec<_>>(),
+                incr.iter().collect::<Vec<_>>(),
+                "n={n}"
+            );
+            for &k in sorted.iter().step_by(13) {
+                assert_eq!(bulk.get(&encode_u64(k)), Some(k), "n={n}");
+            }
+            // Full leaves: never more nodes than the split-built tree.
+            assert!(
+                bulk.memory_stats().node_count <= incr.memory_stats().node_count,
+                "n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn bulk_load_duplicates_and_empty() {
+        let mut arena = ArenaKeySource::new();
+        let t1 = arena.push(b"k");
+        let t2 = arena.push(b"k");
+        let t3 = arena.push(b"m");
+        let mut t = BPlusTree::new(&arena);
+        let entries: Vec<(&[u8], u64)> = vec![(b"k", t1), (b"k", t2), (b"m", t3)];
+        assert_eq!(t.bulk_load(&entries), 2, "duplicate k collapses");
+        assert_eq!(t.get(b"k"), Some(t2), "last write wins");
+        assert_eq!(t.get(b"m"), Some(t3));
+        t.validate();
+
+        let mut empty = BPlusTree::new(EmbeddedKeySource);
+        assert_eq!(empty.bulk_load::<[u8; 8]>(&[]), 0);
+        assert!(empty.is_empty());
+        empty.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "not sorted")]
+    fn bulk_load_rejects_unsorted() {
+        let mut t = BPlusTree::new(EmbeddedKeySource);
+        t.bulk_load(&[(encode_u64(5), 5u64), (encode_u64(1), 1u64)]);
     }
 }

@@ -1,0 +1,436 @@
+//! Bottom-up sorted bulk loading (DESIGN.md §11).
+//!
+//! The COW insert path pays for generality: every key allocates, rebuilds
+//! and frees nodes that the very next insert invalidates. When the input is
+//! already sorted, the whole trie can instead be built bottom-up in one
+//! pass — HOT nodes are immutable-once-published linearized blobs, ideal
+//! for single-pass construction:
+//!
+//! 1. **Prepare** — one scan over the sorted `(key, tid)` pairs computes
+//!    the *boundary array*: `bounds[i]` is the first mismatching bit
+//!    between adjacent keys `i` and `i + 1`
+//!    ([`hot_bits::first_mismatch_bit`]). Duplicates collapse (last write
+//!    wins) and out-of-order input is rejected with
+//!    [`BulkLoadError::Unsorted`]. After this pass the keys themselves are
+//!    no longer needed: the binary Patricia trie over a sorted key set is
+//!    exactly the min-Cartesian tree over `bounds`, so boundary positions
+//!    alone determine every discriminative bit and sparse partial key.
+//! 2. **Pack** — one bottom-up pass over the Patricia trie computes, for
+//!    every BiNode `v`, the *minimum packing height* `H(v)`: the smallest
+//!    `h` such that `v`'s subtree splits into at most `k = 32` parts that
+//!    each pack into height `h - 1`, via the recurrence
+//!    `W(v, h) = (H(left) ≤ h-1 ? 1 : W(left, h)) + (… right …)` and
+//!    `H(v) = min h with W(v, h) ≤ k`. Construction then descends: each
+//!    compound node takes exactly the forced-split part set (split a child
+//!    iff `H(child) > h - 1`), which is the unique minimal partition for the
+//!    minimal height — nodes are as tall-fragmented and as full as the
+//!    trie's branching allows, and the overall trie height is provably
+//!    minimal for the key set (height-optimality, Section 3 of the paper).
+//!    The forced boundaries form a connected top fragment of the range's
+//!    Patricia trie; [`Builder::from_fragment`] turns them into one compound
+//!    node whose children are the recursively built parts. Each node is
+//!    encoded exactly once — no intermediate COW churn — and heights are
+//!    assigned bottom-up (`1 +` tallest child), so the result satisfies
+//!    every `check_invariants()` height and ordering rule by construction.
+//! 3. **Parallelize** — the root fragment's ≤ 32 parts are *partition
+//!    fences*: independent contiguous subtries. [`build_parallel`] assigns
+//!    them largest-first onto `std::thread` workers (the node allocator is
+//!    already thread-local; the [`MemCounter`] is atomic), then grafts the
+//!    finished subtrie roots under a root node built from the fence
+//!    positions — the same node the sequential pass would build.
+
+use crate::node::builder::Builder;
+use crate::node::{MemCounter, NodeRef, MAX_FANOUT};
+use hot_keys::{MAX_KEY_LEN, MAX_TID};
+
+/// Rejected bulk-load input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BulkLoadError {
+    /// `entries[index]` sorts strictly below its predecessor; building from
+    /// unsorted input would silently produce a corrupt trie.
+    Unsorted {
+        /// Index of the first out-of-order entry.
+        index: usize,
+    },
+    /// The target index already holds entries; bulk loading only constructs
+    /// whole tries.
+    NotEmpty,
+}
+
+impl std::fmt::Display for BulkLoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BulkLoadError::Unsorted { index } => {
+                write!(f, "bulk-load input is not sorted at entry {index}")
+            }
+            BulkLoadError::NotEmpty => write!(f, "bulk load requires an empty index"),
+        }
+    }
+}
+
+impl std::error::Error for BulkLoadError {}
+
+/// Validated, deduplicated bulk-load input: the value words plus the
+/// boundary array. The keys themselves are not retained — construction
+/// needs only the adjacent-pair mismatch positions.
+#[derive(Debug)]
+pub(crate) struct Prepared {
+    /// TIDs in key order, duplicates collapsed (last write wins).
+    pub tids: Vec<u64>,
+    /// `bounds[i]` = first mismatching bit between (deduplicated) keys `i`
+    /// and `i + 1`; length `tids.len() - 1`.
+    pub bounds: Vec<u16>,
+}
+
+/// One scan: verify ascending order, collapse duplicates (last write wins)
+/// and record every adjacent-pair mismatch position.
+pub(crate) fn prepare<K: AsRef<[u8]>>(entries: &[(K, u64)]) -> Result<Prepared, BulkLoadError> {
+    let n = entries.len();
+    let mut tids: Vec<u64> = Vec::with_capacity(n);
+    let mut bounds: Vec<u16> = Vec::with_capacity(n.saturating_sub(1));
+    let mut prev: Option<&[u8]> = None;
+    for (index, (key, tid)) in entries.iter().enumerate() {
+        let key = key.as_ref();
+        assert!(key.len() <= MAX_KEY_LEN, "key longer than MAX_KEY_LEN");
+        assert!(*tid <= MAX_TID, "tid exceeds MAX_TID");
+        if let Some(p) = prev {
+            match hot_bits::first_mismatch_bit(p, key) {
+                None => {
+                    // Same key bytes: last write wins, deterministically.
+                    *tids.last_mut().expect("prev implies an entry") = *tid;
+                    continue;
+                }
+                Some(pos) => {
+                    // Sorted ascending iff the predecessor holds the 0 at
+                    // the first mismatching bit (keys are zero-padded).
+                    if key_bit(p, pos) != 0 {
+                        return Err(BulkLoadError::Unsorted { index });
+                    }
+                    bounds.push(pos as u16);
+                }
+            }
+        }
+        prev = Some(key);
+        tids.push(*tid);
+    }
+    Ok(Prepared { tids, bounds })
+}
+
+/// Bit `pos` of `key` under the zero-padding convention.
+#[inline]
+fn key_bit(key: &[u8], pos: usize) -> u8 {
+    let byte = pos / 8;
+    if byte >= key.len() {
+        0
+    } else {
+        (key[byte] >> (7 - pos % 8)) & 1
+    }
+}
+
+/// Sentinel child index marking an entry leaf (a range of one key).
+const ENTRY: usize = usize::MAX;
+
+/// The sorted key set's binary Patricia trie, as the min-Cartesian tree
+/// over the boundary array, plus the height-packing DP solved bottom-up.
+/// BiNode `j` is boundary `j` (it separates entries `j` and `j + 1`);
+/// `left[j]`/`right[j]` are child boundary indices or [`ENTRY`].
+pub(crate) struct Shape {
+    left: Vec<usize>,
+    right: Vec<usize>,
+    /// `h[j]` = minimum packing height of the subtrie rooted at BiNode `j`:
+    /// the smallest `h` such that the subtrie splits into ≤ 32 parts each
+    /// packable into height `h - 1`.
+    h: Vec<u32>,
+    /// Global Patricia root (the unique minimum boundary).
+    root: usize,
+}
+
+/// One `O(n)` pass: build the min-Cartesian tree with a monotonic stack,
+/// then solve the packing DP in post-order:
+/// `W(j, h) = (h_left ≤ h-1 ? 1 : W(left, h)) + (h_right ≤ h-1 ? 1 : W(right, h))`,
+/// `h[j] = min h with W(j, h) ≤ 32`. Since `W` only ever has to be
+/// evaluated at `h = max(h_left, h_right, 1)` (anything larger is trivially
+/// 2), each node needs just its own `(h, W(h))` pair.
+pub(crate) fn analyze(bounds: &[u16]) -> Shape {
+    let m = bounds.len();
+    debug_assert!(m >= 1);
+    let mut left = vec![ENTRY; m];
+    let mut right = vec![ENTRY; m];
+    let mut stack: Vec<usize> = Vec::new();
+    for j in 0..m {
+        let mut last = ENTRY;
+        while let Some(&top) = stack.last() {
+            // Strict `>`: the minimum over any contiguous range is unique,
+            // so equal positions always belong to disjoint subtries.
+            if bounds[top] > bounds[j] {
+                last = stack.pop().expect("non-empty");
+            } else {
+                break;
+            }
+        }
+        left[j] = last;
+        if let Some(&top) = stack.last() {
+            right[top] = j;
+        }
+        stack.push(j);
+    }
+    let root = stack[0];
+    // Post-order DP. `w[j]` = part count of `j`'s forced-split set at its
+    // own minimum height `h[j]`.
+    let mut h = vec![0u32; m];
+    let mut w = vec![0u32; m];
+    let mut todo: Vec<(usize, bool)> = vec![(root, false)];
+    while let Some((j, ready)) = todo.pop() {
+        if !ready {
+            todo.push((j, true));
+            if left[j] != ENTRY {
+                todo.push((left[j], false));
+            }
+            if right[j] != ENTRY {
+                todo.push((right[j], false));
+            }
+            continue;
+        }
+        let side = |c: usize| if c == ENTRY { (0u32, 1u32) } else { (h[c], w[c]) };
+        let (hl, wl) = side(left[j]);
+        let (hr, wr) = side(right[j]);
+        let hh = hl.max(hr).max(1);
+        // Parts contributed per side: 1 if the whole side packs a level
+        // below, else the side's own forced-split set flattens in.
+        let ww = (if hl < hh { 1 } else { wl }) + (if hr < hh { 1 } else { wr });
+        if ww as usize <= MAX_FANOUT {
+            h[j] = hh;
+            w[j] = ww;
+        } else {
+            // The 32-way fan-out is exhausted at `hh`; one level up both
+            // sides pack whole.
+            h[j] = hh + 1;
+            w[j] = 2;
+        }
+    }
+    Shape { left, right, h, root }
+}
+
+/// One part of a compound node's fragment: the inclusive entry range
+/// `lo..=hi` plus its Patricia root BiNode (`ENTRY` for a single key).
+#[derive(Clone, Copy)]
+pub(crate) struct Part {
+    lo: usize,
+    hi: usize,
+    root: usize,
+}
+
+/// Collect the forced-split part set for the compound node packing BiNode
+/// `j`'s subtrie (entry range `lo..=hi`): descend the Patricia trie from
+/// `j`, stopping at every side that packs into height `h[j] - 1`. By the
+/// [`analyze`] DP this yields `2..=32` parts, in entry order, and is the
+/// unique minimal partition achieving the minimal height.
+fn partition_node(shape: &Shape, j: usize, lo: usize, hi: usize, parts: &mut Vec<Part>) {
+    let target = shape.h[j] - 1;
+    descend(shape, j, lo, hi, target, parts);
+}
+
+fn descend(shape: &Shape, j: usize, lo: usize, hi: usize, target: u32, parts: &mut Vec<Part>) {
+    // Left side covers entries `lo..=j`, right side `j + 1..=hi`.
+    let sides = [(shape.left[j], lo, j), (shape.right[j], j + 1, hi)];
+    for (c, slo, shi) in sides {
+        if c == ENTRY {
+            debug_assert_eq!(slo, shi);
+            parts.push(Part { lo: slo, hi: shi, root: ENTRY });
+        } else if shape.h[c] <= target {
+            parts.push(Part { lo: slo, hi: shi, root: c });
+        } else {
+            descend(shape, c, slo, shi, target, parts);
+        }
+    }
+}
+
+/// Build the subtrie for `part`, bottom-up. Every compound node is encoded
+/// exactly once, at exactly its DP-minimal height.
+pub(crate) fn build_part(
+    tids: &[u64],
+    bounds: &[u16],
+    shape: &Shape,
+    part: Part,
+    mem: &MemCounter,
+) -> NodeRef {
+    if part.root == ENTRY {
+        return NodeRef::leaf(tids[part.lo]);
+    }
+    let mut parts = Vec::with_capacity(MAX_FANOUT);
+    partition_node(shape, part.root, part.lo, part.hi, &mut parts);
+    let fences: Vec<u16> = parts[..parts.len() - 1]
+        .iter()
+        .map(|p| bounds[p.hi])
+        .collect();
+    let values: Vec<u64> = parts
+        .iter()
+        .map(|&p| build_part(tids, bounds, shape, p, mem).0)
+        .collect();
+    Builder::from_fragment(&fences, &values).encode(mem)
+}
+
+/// Below this size the fan-out/join overhead outweighs parallel building.
+const PARALLEL_MIN: usize = 4096;
+
+/// Build the whole trie (`tids.len() >= 2`), constructing the root
+/// fragment's subtries on up to `threads` worker threads and grafting them
+/// under a root node built from the partition fences.
+pub(crate) fn build_parallel(
+    tids: &[u64],
+    bounds: &[u16],
+    mem: &MemCounter,
+    threads: usize,
+) -> NodeRef {
+    let n = tids.len();
+    debug_assert!(n >= 2);
+    let shape = analyze(bounds);
+    let whole = Part { lo: 0, hi: n - 1, root: shape.root };
+    if threads <= 1 || n < PARALLEL_MIN {
+        return build_part(tids, bounds, &shape, whole, mem);
+    }
+    let mut parts = Vec::with_capacity(MAX_FANOUT);
+    partition_node(&shape, shape.root, 0, n - 1, &mut parts);
+    let fences: Vec<u16> = parts[..parts.len() - 1]
+        .iter()
+        .map(|p| bounds[p.hi])
+        .collect();
+    // Largest-first assignment of the ≤ 32 independent subtries onto the
+    // workers: sort by width, then always hand the next subtrie to the
+    // least-loaded bin.
+    let mut order: Vec<usize> = (0..parts.len()).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(parts[i].hi - parts[i].lo));
+    let bins = threads.min(parts.len());
+    let mut assignment: Vec<Vec<usize>> = vec![Vec::new(); bins];
+    let mut load = vec![0usize; bins];
+    for pi in order {
+        let bin = (0..bins).min_by_key(|&b| load[b]).expect("bins >= 1");
+        load[bin] += parts[pi].hi - parts[pi].lo + 1;
+        assignment[bin].push(pi);
+    }
+    let mut values = vec![0u64; parts.len()];
+    std::thread::scope(|scope| {
+        let parts = &parts;
+        let shape = &shape;
+        let handles: Vec<_> = assignment
+            .iter()
+            .filter(|bin| !bin.is_empty())
+            .map(|bin| {
+                scope.spawn(move || {
+                    bin.iter()
+                        .map(|&pi| (pi, build_part(tids, bounds, shape, parts[pi], mem).0))
+                        .collect::<Vec<(usize, u64)>>()
+                })
+            })
+            .collect();
+        for handle in handles {
+            for (pi, word) in handle.join().expect("bulk-load worker panicked") {
+                values[pi] = word;
+            }
+        }
+    });
+    Builder::from_fragment(&fences, &values).encode(mem)
+}
+
+/// Free a just-built subtree that could not be published (e.g. a lost
+/// root CAS in [`ConcurrentHot::bulk_load`](crate::sync::ConcurrentHot::bulk_load)).
+pub(crate) fn free_subtree(r: NodeRef, mem: &MemCounter) {
+    if r.is_node() {
+        let raw = r.as_raw();
+        for i in 0..raw.count() {
+            free_subtree(raw.value(i), mem);
+        }
+        // SAFETY: the subtree was never published; this thread is its sole
+        // owner.
+        unsafe { raw.free(mem) };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pairs(keys: &[u64]) -> Vec<([u8; 8], u64)> {
+        keys.iter().map(|&k| (hot_keys::encode_u64(k), k)).collect()
+    }
+
+    #[test]
+    fn prepare_computes_boundaries() {
+        let p = prepare(&pairs(&[1, 2, 3])).unwrap();
+        assert_eq!(p.tids, vec![1, 2, 3]);
+        // 1→2 first differ at bit 62 (…01 vs …10), 2→3 at bit 63.
+        assert_eq!(p.bounds, vec![62, 63]);
+    }
+
+    #[test]
+    fn prepare_rejects_unsorted() {
+        assert_eq!(
+            prepare(&pairs(&[1, 3, 2])).unwrap_err(),
+            BulkLoadError::Unsorted { index: 2 }
+        );
+        assert_eq!(
+            prepare(&pairs(&[5, 1])).unwrap_err(),
+            BulkLoadError::Unsorted { index: 1 }
+        );
+    }
+
+    #[test]
+    fn prepare_last_write_wins_on_duplicates() {
+        let entries: Vec<([u8; 8], u64)> = vec![
+            (hot_keys::encode_u64(7), 70),
+            (hot_keys::encode_u64(9), 90),
+            (hot_keys::encode_u64(9), 91),
+            (hot_keys::encode_u64(9), 92),
+            (hot_keys::encode_u64(12), 120),
+        ];
+        let p = prepare(&entries).unwrap();
+        assert_eq!(p.tids, vec![70, 92, 120]);
+        assert_eq!(p.bounds.len(), 2);
+    }
+
+    #[test]
+    fn prepare_empty_and_singleton() {
+        let p = prepare::<[u8; 8]>(&[]).unwrap();
+        assert!(p.tids.is_empty() && p.bounds.is_empty());
+        let p = prepare(&pairs(&[42])).unwrap();
+        assert_eq!(p.tids, vec![42]);
+        assert!(p.bounds.is_empty());
+    }
+
+    #[test]
+    fn partition_covers_range_contiguously() {
+        // 64 entries: parts must partition 0..=63 into 2..=32 contiguous runs.
+        let keys: Vec<u64> = (0..64).collect();
+        let p = prepare(&pairs(&keys)).unwrap();
+        let shape = analyze(&p.bounds);
+        let mut parts = Vec::new();
+        partition_node(&shape, shape.root, 0, 63, &mut parts);
+        assert!(parts.len() >= 2 && parts.len() <= MAX_FANOUT);
+        assert_eq!(parts.first().unwrap().lo, 0);
+        assert_eq!(parts.last().unwrap().hi, 63);
+        for w in parts.windows(2) {
+            assert_eq!(w[0].hi + 1, w[1].lo, "contiguous parts");
+        }
+        // Dense consecutive integers branch perfectly: the DP packs two
+        // full 32-leaf halves under a height-2 root.
+        assert_eq!(shape.h[shape.root], 2);
+        assert_eq!(parts.len(), 2);
+        assert_eq!((parts[0].lo, parts[0].hi), (0, 31));
+        assert_eq!((parts[1].lo, parts[1].hi), (32, 63));
+    }
+
+    #[test]
+    fn analyze_packs_small_sets_into_one_node() {
+        // Any <= 32-key set packs into a single height-1 node.
+        for n in [2usize, 3, 17, 32] {
+            let keys: Vec<u64> = (0..n as u64).map(|i| i * 977).collect();
+            let p = prepare(&pairs(&keys)).unwrap();
+            let shape = analyze(&p.bounds);
+            assert_eq!(shape.h[shape.root], 1, "n={n}");
+            let mut parts = Vec::new();
+            partition_node(&shape, shape.root, 0, n - 1, &mut parts);
+            assert_eq!(parts.len(), n, "n={n}: every part is a single entry");
+            assert!(parts.iter().all(|p| p.root == ENTRY));
+        }
+    }
+}

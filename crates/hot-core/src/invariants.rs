@@ -53,6 +53,23 @@ pub struct InvariantReport {
     /// heights left behind by remove paths. Safe but worth watching: a
     /// growing slack count on an insert-only workload would be a bug.
     pub height_slack: usize,
+    /// Total entry slots across all compound nodes (leaves + child
+    /// pointers). `entries / nodes` is the average node fill out of
+    /// `k = 32` — the bulk loader packs maximal nodes, so its fill should
+    /// never trail the incremental build's.
+    pub entries: usize,
+}
+
+impl InvariantReport {
+    /// Average entries per compound node (0.0 for leafless tries); the
+    /// maximum is `k = 32`.
+    pub fn avg_fill(&self) -> f64 {
+        if self.nodes == 0 {
+            0.0
+        } else {
+            self.entries as f64 / self.nodes as f64
+        }
+    }
 }
 
 struct Walker<'s, S> {
@@ -118,6 +135,7 @@ impl<S: KeySource> Walker<'_, S> {
             }
         }
         self.report.nodes += 1;
+        self.report.entries += n;
         let mut max_child = 0usize;
         for i in 0..n {
             let ch = self.walk(raw.value(i), depth + 1)?;
@@ -163,6 +181,7 @@ where
             leaves: 0,
             height: 0,
             height_slack: 0,
+            entries: 0,
         },
         leaf_tids: Vec::with_capacity(expected_len),
     };

@@ -41,6 +41,7 @@
 #![deny(missing_docs)]
 
 pub mod batch;
+pub mod bulk;
 pub mod invariants;
 pub mod map;
 pub mod node;
@@ -49,6 +50,7 @@ pub mod sync_shim;
 pub mod trie;
 
 pub use batch::{BatchCursor, DEFAULT_GROUP};
+pub use bulk::BulkLoadError;
 pub use invariants::InvariantReport;
 pub use map::HotMap;
 pub use node::{MemCounter, NodeRef, NodeTag, MAX_FANOUT};

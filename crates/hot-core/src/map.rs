@@ -111,6 +111,57 @@ impl<V> HotMap<V> {
         }
     }
 
+    /// Build the map bottom-up from entries sorted ascending by key — the
+    /// map-level face of [`HotTrie::bulk_load`]. The map must be empty.
+    /// Duplicate keys collapse last-write-wins (earlier values are dropped);
+    /// unsorted input returns [`BulkLoadError::Unsorted`] and leaves the map
+    /// empty. Returns the number of distinct keys loaded.
+    ///
+    /// [`BulkLoadError::Unsorted`]: crate::BulkLoadError::Unsorted
+    pub fn bulk_load<K: AsRef<[u8]>>(
+        &mut self,
+        entries: Vec<(K, V)>,
+    ) -> Result<usize, crate::BulkLoadError> {
+        // Materialize the records first, collapsing *adjacent* duplicates
+        // (which is full dedup on sorted input) so that on success every
+        // record is referenced by exactly one trie leaf — no orphans to
+        // leak, no double ownership.
+        let mut records: Vec<Box<Record<V>>> = Vec::with_capacity(entries.len());
+        for (key, value) in entries {
+            let key = key.as_ref();
+            if let Some(last) = records.last_mut() {
+                if &*last.key == key {
+                    last.value = value;
+                    continue;
+                }
+            }
+            records.push(Box::new(Record {
+                key: key.to_vec().into_boxed_slice(),
+                value,
+            }));
+        }
+        let pairs: Vec<(&[u8], u64)> = records
+            .iter()
+            .map(|r| {
+                let tid = &**r as *const Record<V> as u64;
+                debug_assert_eq!(tid >> 63, 0, "heap addresses fit in 63 bits");
+                (&r.key[..], tid)
+            })
+            .collect();
+        match self.trie.bulk_load(&pairs) {
+            Ok(n) => {
+                debug_assert_eq!(n, records.len(), "pre-deduped input stays distinct");
+                for record in records {
+                    self.record_bytes += Self::record_footprint(record.key.len());
+                    let _ = Box::into_raw(record); // now owned via the trie
+                }
+                Ok(n)
+            }
+            // The trie was left untouched; the records drop here.
+            Err(e) => Err(e),
+        }
+    }
+
     /// Get a reference to the value stored under `key`.
     pub fn get(&self, key: &[u8]) -> Option<&V> {
         let tid = self.trie.get(key)?;
@@ -282,6 +333,48 @@ mod tests {
         assert_eq!(stats.aux_bytes, 0);
         assert!(stats.aux_bytes < aux_before);
         assert_eq!(stats.node_bytes, 0);
+    }
+
+    #[test]
+    fn bulk_load_sorted_entries() {
+        let mut map = HotMap::new();
+        let entries: Vec<([u8; 8], u64)> = (0..5000u64).map(|i| (encode_u64(i * 3), i)).collect();
+        assert_eq!(map.bulk_load(entries), Ok(5000));
+        assert_eq!(map.len(), 5000);
+        assert_eq!(map.get(&encode_u64(42)), Some(&14));
+        assert_eq!(map.get(&encode_u64(43)), None);
+        map.validate();
+        let in_order: Vec<u64> = map.iter().map(|(_, &v)| v).collect();
+        assert_eq!(in_order, (0..5000).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn bulk_load_duplicates_and_errors_leak_nothing() {
+        use std::rc::Rc;
+        let probe = Rc::new(());
+        {
+            let mut map = HotMap::new();
+            // Sorted with duplicates: last value wins, earlier ones drop.
+            let entries = vec![
+                (encode_u64(1), Rc::clone(&probe)),
+                (encode_u64(2), Rc::clone(&probe)),
+                (encode_u64(2), Rc::clone(&probe)),
+                (encode_u64(3), Rc::clone(&probe)),
+            ];
+            assert_eq!(map.bulk_load(entries), Ok(3));
+            assert_eq!(Rc::strong_count(&probe), 4);
+
+            // Unsorted input: rejected, and every record is freed.
+            let mut other = HotMap::new();
+            let bad = vec![
+                (encode_u64(9), Rc::clone(&probe)),
+                (encode_u64(1), Rc::clone(&probe)),
+            ];
+            assert!(other.bulk_load(bad).is_err());
+            assert!(other.is_empty());
+            assert_eq!(Rc::strong_count(&probe), 4);
+        }
+        assert_eq!(Rc::strong_count(&probe), 1);
     }
 
     #[test]

@@ -116,6 +116,61 @@ impl Builder {
         }
     }
 
+    /// Assemble a node from a bottom-up construction fragment (the bulk
+    /// loader's primitive, DESIGN.md §11).
+    ///
+    /// `bounds[i]` is the discriminative bit position separating entry `i`
+    /// from entry `i + 1` — the first mismatching bit between the last key
+    /// under entry `i` and the first key under entry `i + 1`. The node's
+    /// embedded Patricia topology is implied: it is the min-Cartesian tree
+    /// over `bounds` (the BiNode with the smallest position is the root,
+    /// and over a contiguous key range that minimum is unique, so the tree
+    /// is well defined). Sparse partial keys follow by setting, at every
+    /// BiNode, the extracted bit of all entries on its 1-side.
+    ///
+    /// `values` are the entries' value words in key order; the height is
+    /// derived from them (`1 +` the tallest child).
+    pub fn from_fragment(bounds: &[u16], values: &[u64]) -> Builder {
+        let n = values.len();
+        assert!((2..=MAX_FANOUT).contains(&n), "entry count {n}");
+        assert_eq!(bounds.len(), n - 1, "one boundary between adjacent entries");
+        let mut positions: Vec<u16> = bounds.to_vec();
+        positions.sort_unstable();
+        positions.dedup();
+        let m = positions.len();
+        debug_assert!(m <= MAX_POSITIONS, "n <= 32 entries imply <= 31 positions");
+        let mut sparse = vec![0u32; n];
+        // Worklist recursion over entry subranges: the smallest boundary in
+        // a range is its subtree's root BiNode; everything right of it gets
+        // that position's extracted bit set (path bits accumulate, off-path
+        // bits stay 0).
+        let mut ranges = vec![(0usize, n - 1)];
+        while let Some((lo, hi)) = ranges.pop() {
+            if lo == hi {
+                continue;
+            }
+            let mut root = lo;
+            for j in lo + 1..hi {
+                if bounds[j] < bounds[root] {
+                    root = j;
+                }
+            }
+            let rank = positions.partition_point(|&p| p < bounds[root]);
+            let bit = 1u32 << (m - 1 - rank);
+            for s in &mut sparse[root + 1..=hi] {
+                *s |= bit;
+            }
+            ranges.push((lo, root));
+            ranges.push((root + 1, hi));
+        }
+        Builder {
+            positions,
+            sparse,
+            values: values.to_vec(),
+            height: true_height(values),
+        }
+    }
+
     /// Number of entries.
     #[inline]
     pub fn len(&self) -> usize {
@@ -888,5 +943,67 @@ mod tests {
         let (_, left, right) = b.split();
         assert!(!left.overflowed() && !right.overflowed());
         assert_eq!(left.len() + right.len(), 33);
+    }
+
+    /// Adjacent-pair mismatch positions for `width`-bit keys, the bulk
+    /// loader's boundary representation.
+    fn mismatch_bounds(keys: &[u32], width: u16) -> Vec<u16> {
+        keys.windows(2)
+            .map(|w| {
+                let diff = w[0] ^ w[1];
+                assert_ne!(diff, 0, "sorted distinct");
+                (diff.leading_zeros() as u16) - (32 - width)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn from_fragment_matches_reference_builder() {
+        // The boundary-only reconstruction must reproduce the full
+        // recursive Patricia linearization, including shared positions
+        // (e.g. bit 4 discriminating in two sibling subtrees, Figure 5).
+        let cases: Vec<(Vec<u32>, u16)> = vec![
+            (vec![0b000, 0b001, 0b100, 0b110], 3),
+            (vec![0b0000, 0b0100, 0b0110, 0b1000, 0b1100, 0b1110], 4),
+            ((0..32).collect(), 8),
+            (vec![1, 2, 4, 8, 16, 32, 64, 128], 8),
+            (vec![3, 7, 11, 200, 201, 202, 255], 8),
+        ];
+        for (keys, width) in cases {
+            let expected = reference_builder(&keys, width);
+            let values: Vec<u64> = keys.iter().map(|&k| NodeRef::leaf(k as u64).0).collect();
+            let got = Builder::from_fragment(&mismatch_bounds(&keys, width), &values);
+            assert_eq!(got, expected, "keys {keys:?}");
+            got.check_invariants();
+        }
+    }
+
+    #[test]
+    fn from_fragment_random_vs_reference() {
+        // Deterministic LCG sweep over random key sets of every node size.
+        let mut state = 0x2545_F491_4F6C_DD1Du64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for n in 2..=32usize {
+            for _ in 0..8 {
+                let mut keys: Vec<u32> = Vec::with_capacity(n);
+                while keys.len() < n {
+                    let k = (next() & 0xFFFF) as u32;
+                    if !keys.contains(&k) {
+                        keys.push(k);
+                    }
+                }
+                keys.sort_unstable();
+                let expected = reference_builder(&keys, 16);
+                let values: Vec<u64> =
+                    keys.iter().map(|&k| NodeRef::leaf(k as u64).0).collect();
+                let got = Builder::from_fragment(&mismatch_bounds(&keys, 16), &values);
+                assert_eq!(got, expected, "n={n} keys {keys:?}");
+            }
+        }
     }
 }

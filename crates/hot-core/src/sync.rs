@@ -38,6 +38,7 @@ use std::sync::Arc;
 
 use crossbeam_epoch as epoch;
 
+use crate::bulk::BulkLoadError;
 use crate::node::builder::{true_height, Builder};
 use crate::node::{MemCounter, NodeRef, RawNode, MAX_FANOUT};
 use hot_keys::stats::MemoryStats;
@@ -181,6 +182,63 @@ impl<S: KeySource> ConcurrentHot<S> {
     /// Access the key source.
     pub fn source(&self) -> &S {
         &self.source
+    }
+
+    /// Build the whole trie bottom-up from sorted `(key, tid)` entries and
+    /// publish it with a **single** root store — the concurrent counterpart
+    /// of [`HotTrie::bulk_load`](crate::HotTrie::bulk_load) (DESIGN.md §11).
+    ///
+    /// The trie must be empty: the finished root is installed with one CAS
+    /// of the null root word, so concurrent readers observe either the
+    /// empty trie or the complete bulk-loaded one, never an intermediate
+    /// state. If any entry (or a racing writer) got there first the build
+    /// is discarded and [`BulkLoadError::NotEmpty`] is returned. Duplicates
+    /// collapse last-write-wins; unsorted input returns
+    /// [`BulkLoadError::Unsorted`]. Returns the number of distinct keys.
+    pub fn bulk_load<K: AsRef<[u8]>>(
+        &self,
+        entries: &[(K, u64)],
+    ) -> Result<usize, BulkLoadError> {
+        self.bulk_load_parallel(entries, 1)
+    }
+
+    /// [`bulk_load`](Self::bulk_load) with the root fragment's subtries
+    /// built on up to `threads` worker threads (see
+    /// [`HotTrie::bulk_load_parallel`](crate::HotTrie::bulk_load_parallel)).
+    pub fn bulk_load_parallel<K: AsRef<[u8]>>(
+        &self,
+        entries: &[(K, u64)],
+        threads: usize,
+    ) -> Result<usize, BulkLoadError> {
+        if !self.load_root().is_null() {
+            return Err(BulkLoadError::NotEmpty);
+        }
+        let prepared = crate::bulk::prepare(entries)?;
+        let n = prepared.tids.len();
+        let root = match n {
+            0 => return Ok(0),
+            1 => NodeRef::leaf(prepared.tids[0]),
+            _ => crate::bulk::build_parallel(&prepared.tids, &prepared.bounds, &self.mem, threads),
+        };
+        // Single-publish. Ordering: **Release** on success — pairs with the
+        // Acquire `load_root`, so a reader that observes the new root
+        // observes every `fill`ed node body built above (including the
+        // worker threads' stores, which happened-before their join).
+        match self
+            .root
+            .compare_exchange(0, root.0, Ordering::Release, Ordering::Relaxed)
+        {
+            Ok(_) => {
+                self.len.store(n, Ordering::Relaxed);
+                Ok(n)
+            }
+            Err(_) => {
+                // Lost the race to a concurrent writer: nothing was
+                // published, so the freshly built subtree is still private.
+                crate::bulk::free_subtree(root, &self.mem);
+                Err(BulkLoadError::NotEmpty)
+            }
+        }
     }
 
     /// Ordering: **Acquire** — pairs with every **Release** store/CAS of

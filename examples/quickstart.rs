@@ -53,6 +53,22 @@ fn main() {
     println!("batched lookups: {found:?}");
     assert_eq!(found, vec![Some(42), None, Some(1 << 40), None]);
 
+    // Bulk loading: a sorted key set builds bottom-up in one pass — every
+    // node encoded once at its final size, height provably minimal. The
+    // result answers lookups exactly like the insert-loop trie. (The figure
+    // harnesses expose this as `--bulk`; `bulk_load_parallel` adds worker
+    // threads for large sets.)
+    let sorted: Vec<([u8; 8], u64)> = (0..100_000u64).map(|v| (encode_u64(v), v)).collect();
+    let mut bulk = HotTrie::new(EmbeddedKeySource);
+    bulk.bulk_load(&sorted).expect("sorted entries into an empty trie");
+    assert_eq!(bulk.get(&encode_u64(4242)), Some(4242));
+    println!(
+        "bulk-loaded index: {} keys, height {}, {:.1} bytes/key",
+        bulk.len(),
+        bulk.height(),
+        bulk.memory_stats().bytes_per_key(),
+    );
+
     // ── 3. ConcurrentHot: the ROWEX-synchronized index (Section 5) ─────────
     let shared = Arc::new(ConcurrentHot::new(EmbeddedKeySource));
     std::thread::scope(|scope| {

@@ -3,8 +3,9 @@
 //! The build container has no crates.io access, so the workspace vendors the
 //! benchmarking surface its benches use: [`Criterion::benchmark_group`],
 //! [`BenchmarkGroup::bench_function`] / [`BenchmarkGroup::sample_size`] /
-//! [`BenchmarkGroup::throughput`], [`Bencher::iter`], [`black_box`], and the
-//! [`criterion_group!`] / [`criterion_main!`] macros.
+//! [`BenchmarkGroup::throughput`], [`Bencher::iter`] /
+//! [`Bencher::iter_batched`], [`black_box`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros.
 //!
 //! Measurement model: each bench is calibrated by doubling the iteration
 //! count until one sample takes ≥ `HOT_BENCH_MIN_SAMPLE_MS` (default 25 ms),
@@ -40,6 +41,18 @@ pub enum Throughput {
     Elements(u64),
     /// Bytes processed per iteration.
     Bytes(u64),
+}
+
+/// Batch-size hint for [`Bencher::iter_batched`] (accepted for API parity;
+/// this stand-in always runs one routine call per setup).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Input is small; real criterion would batch many per allocation.
+    SmallInput,
+    /// Input is large; real criterion batches few.
+    LargeInput,
+    /// One setup per routine call.
+    PerIteration,
 }
 
 /// Top-level benchmark driver.
@@ -168,6 +181,27 @@ impl Bencher {
         self.samples.clear();
         for _ in 0..self.sample_size {
             self.samples.push(Self::time_batch(&mut f, iters));
+        }
+    }
+
+    /// Measure `routine` on fresh inputs from `setup`; setup time and the
+    /// drop of the routine's output stay outside the timed region. Each
+    /// sample is a single routine call (whole-structure builds and similar
+    /// heavyweight routines are what this entry point exists for, so no
+    /// iteration-count calibration is needed).
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        self.iters_per_sample = 1;
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let start = Instant::now();
+            let output = black_box(routine(input));
+            self.samples.push(start.elapsed());
+            drop(output);
         }
     }
 
