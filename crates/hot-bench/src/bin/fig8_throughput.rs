@@ -32,7 +32,7 @@
 
 use hot_bench::{
     all_indexes, row, run_load, run_load_bulk, run_transactions, run_transactions_batched,
-    BenchData, Config,
+    run_transactions_fresh_scans, BenchData, Config,
 };
 use hot_ycsb::{Dataset, DatasetKind, RequestDistribution, Workload, WorkloadRun};
 
@@ -41,6 +41,16 @@ struct BatchRecord {
     dataset: &'static str,
     structure: &'static str,
     scalar_mops: f64,
+    batched_mops: f64,
+}
+
+/// One workload-E triple (allocating / cursor-amortized / batched scan
+/// paths) for the `results/BENCH_scan.json` report.
+struct ScanRecord {
+    dataset: &'static str,
+    structure: &'static str,
+    alloc_mops: f64,
+    cursor_mops: f64,
     batched_mops: f64,
 }
 
@@ -71,6 +81,7 @@ fn main() {
 
     let mut records: Vec<BatchRecord> = Vec::new();
     let mut bulk_records: Vec<BulkRecord> = Vec::new();
+    let mut scan_records: Vec<ScanRecord> = Vec::new();
 
     for kind in DatasetKind::ALL {
         // Reserve insert keys for workload E.
@@ -88,6 +99,7 @@ fn main() {
         ));
 
         let mut incremental_load: Vec<f64> = Vec::new();
+        let mut e_results: Vec<(f64, u64)> = Vec::new();
         for mut index in all_indexes(&data.arena) {
             // Insert-only = the load phase itself.
             let load_mops = run_load(index.as_mut(), &data, config.keys);
@@ -111,9 +123,11 @@ fn main() {
                 "batched lookups must resolve the same TIDs as scalar ones"
             );
 
-            // Workload E (95% scan / 5% insert).
+            // Workload E (95% scan / 5% insert), through the amortized
+            // cursor scan path (for HOT; baselines run their only path).
             let (e_mops, e_sum) = run_transactions(index.as_mut(), &data, &e_run);
             check_index(&config, index.as_ref(), kind.label(), "workload E");
+            e_results.push((e_mops, e_sum));
 
             row(&[
                 "C".into(),
@@ -151,6 +165,52 @@ fn main() {
                 kind.label(),
                 index.name()
             );
+        }
+
+        // Workload-E scan-path comparison: the same operation stream through
+        // the pre-cursor allocating scan path (`E_alloc`) and through the
+        // coalesced batched path (`E_batch`), each on a fresh index loaded
+        // to the identical pre-E state — E inserts reserve keys, so
+        // re-running it on an already-run index would change what the scans
+        // see and break checksum comparability.
+        {
+            let alloc_set = all_indexes(&data.arena);
+            let batch_set = all_indexes(&data.arena);
+            for (i, (mut a, mut b)) in alloc_set.into_iter().zip(batch_set).enumerate() {
+                run_load(a.as_mut(), &data, config.keys);
+                run_load(b.as_mut(), &data, config.keys);
+                let (ea_mops, ea_sum) = run_transactions_fresh_scans(a.as_mut(), &data, &e_run);
+                let (eb_mops, eb_sum) =
+                    run_transactions_batched(b.as_mut(), &data, &e_run, config.batch);
+                let (e_mops, e_sum) = e_results[i];
+                assert_eq!(
+                    e_sum, ea_sum,
+                    "amortized scans must return the same entries as the allocating path"
+                );
+                assert_eq!(
+                    e_sum, eb_sum,
+                    "batched scans must return the same entries as scalar ones"
+                );
+                row(&[
+                    "E_alloc".into(),
+                    kind.label().into(),
+                    a.name().into(),
+                    format!("{ea_mops:.3}"),
+                ]);
+                row(&[
+                    "E_batch".into(),
+                    kind.label().into(),
+                    a.name().into(),
+                    format!("{eb_mops:.3}"),
+                ]);
+                scan_records.push(ScanRecord {
+                    dataset: kind.label(),
+                    structure: a.name(),
+                    alloc_mops: ea_mops,
+                    cursor_mops: e_mops,
+                    batched_mops: eb_mops,
+                });
+            }
         }
 
         // `--bulk`: load two more fresh sets of indexes over the same data —
@@ -192,6 +252,7 @@ fn main() {
     }
 
     write_batch_json(&config, &records);
+    write_scan_json(&config, &scan_records);
     if config.bulk {
         write_bulk_json(&config, &bulk_records);
     }
@@ -259,6 +320,43 @@ fn write_batch_json(config: &Config, records: &[BatchRecord]) {
         eprintln!("# could not write results/BENCH_batch.json: {e}");
     } else {
         eprintln!("# wrote results/BENCH_batch.json");
+    }
+}
+
+/// Hand-rolled JSON: workload-E throughput through the allocating,
+/// cursor-amortized and batched scan paths per (dataset, structure), plus
+/// the amortized- and batched-over-allocating speedups.
+fn write_scan_json(config: &Config, records: &[ScanRecord]) {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"fig8_workload_E_scan_paths\",\n");
+    out.push_str(&format!(
+        "  \"keys\": {}, \"ops\": {}, \"seed\": {}, \"batch\": {},\n",
+        config.keys, config.ops, config.seed, config.batch
+    ));
+    out.push_str("  \"rows\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        let cursor_speedup = if r.alloc_mops > 0.0 { r.cursor_mops / r.alloc_mops } else { 0.0 };
+        let batched_speedup = if r.alloc_mops > 0.0 { r.batched_mops / r.alloc_mops } else { 0.0 };
+        out.push_str(&format!(
+            "    {{\"dataset\": \"{}\", \"structure\": \"{}\", \"alloc_mops\": {:.3}, \"cursor_mops\": {:.3}, \"batched_mops\": {:.3}, \"cursor_speedup\": {:.2}, \"batched_speedup\": {:.2}}}{}\n",
+            r.dataset,
+            r.structure,
+            r.alloc_mops,
+            r.cursor_mops,
+            r.batched_mops,
+            cursor_speedup,
+            batched_speedup,
+            if i + 1 < records.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    if let Err(e) = std::fs::create_dir_all("results")
+        .and_then(|()| std::fs::write("results/BENCH_scan.json", &out))
+    {
+        eprintln!("# could not write results/BENCH_scan.json: {e}");
+    } else {
+        eprintln!("# wrote results/BENCH_scan.json");
     }
 }
 

@@ -43,7 +43,10 @@ pub mod search;
 pub use bitpos::{bit_at, first_mismatch_bit, load_be_u64};
 pub use features::{features, Features};
 pub use pext::{pdep64, pext64};
-pub use search::{search_subset_u16, search_subset_u32, search_subset_u8};
+pub use search::{
+    match_prefix_u16, match_prefix_u32, match_prefix_u8, search_subset_u16, search_subset_u32,
+    search_subset_u8,
+};
 
 /// Prefetch the cache line containing `ptr` (and the following ones) into all
 /// cache levels.

@@ -76,6 +76,41 @@ pub fn search_subset_u32_scalar(pkeys: &[u32], n: usize, dense: u32) -> usize {
     0
 }
 
+/// Portable prefix match over 8-bit sparse partial keys: bit `i` of the
+/// result is set iff `pkeys[i] & mask == prefix` (see module docs on the
+/// range-scan seek).
+#[inline]
+pub fn match_prefix_u8_scalar(pkeys: &[u8], n: usize, mask: u8, prefix: u8) -> u32 {
+    debug_assert!(n <= pkeys.len());
+    let mut matches = 0u32;
+    for (i, &k) in pkeys.iter().enumerate().take(n) {
+        matches |= u32::from(k & mask == prefix) << i;
+    }
+    matches
+}
+
+/// Portable prefix match over 16-bit sparse partial keys.
+#[inline]
+pub fn match_prefix_u16_scalar(pkeys: &[u16], n: usize, mask: u16, prefix: u16) -> u32 {
+    debug_assert!(n <= pkeys.len());
+    let mut matches = 0u32;
+    for (i, &k) in pkeys.iter().enumerate().take(n) {
+        matches |= u32::from(k & mask == prefix) << i;
+    }
+    matches
+}
+
+/// Portable prefix match over 32-bit sparse partial keys.
+#[inline]
+pub fn match_prefix_u32_scalar(pkeys: &[u32], n: usize, mask: u32, prefix: u32) -> u32 {
+    debug_assert!(n <= pkeys.len());
+    let mut matches = 0u32;
+    for (i, &k) in pkeys.iter().enumerate().take(n) {
+        matches |= u32::from(k & mask == prefix) << i;
+    }
+    matches
+}
+
 #[cfg(target_arch = "x86_64")]
 mod avx2 {
     use core::arch::x86_64::*;
@@ -145,6 +180,59 @@ mod avx2 {
         }
         31 - matches.leading_zeros() as usize
     }
+
+    /// # Safety
+    /// AVX2 must be available and 32 bytes must be readable from `pkeys`.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn match_prefix_u8(pkeys: *const u8, n: usize, mask: u8, prefix: u8) -> u32 {
+        // SAFETY: caller guarantees 32 readable bytes; loadu has no
+        // alignment requirement.
+        let v = unsafe { _mm256_loadu_si256(pkeys as *const __m256i) };
+        let m = _mm256_set1_epi8(mask as i8);
+        let p = _mm256_set1_epi8(prefix as i8);
+        let eq = _mm256_cmpeq_epi8(_mm256_and_si256(v, m), p);
+        (_mm256_movemask_epi8(eq) as u32) & super::used_mask(n)
+    }
+
+    /// # Safety
+    /// AVX2 must be available and 64 bytes must be readable from `pkeys`.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn match_prefix_u16(pkeys: *const u16, n: usize, mask: u16, prefix: u16) -> u32 {
+        let m = _mm256_set1_epi16(mask as i16);
+        let p = _mm256_set1_epi16(prefix as i16);
+        // SAFETY: caller guarantees 64 readable bytes; loadu has no
+        // alignment requirement.
+        let lo = unsafe { _mm256_loadu_si256(pkeys as *const __m256i) };
+        // SAFETY: as above — the second 32-byte half of the same buffer.
+        let hi = unsafe { _mm256_loadu_si256((pkeys as *const __m256i).add(1)) };
+        let eq_lo = _mm256_cmpeq_epi16(_mm256_and_si256(lo, m), p);
+        let eq_hi = _mm256_cmpeq_epi16(_mm256_and_si256(hi, m), p);
+        // Pack the two 16-bit compare masks (0 / -1 lanes) down to bytes.
+        // packs works per 128-bit half, interleaving the sources as
+        // [lo₀₋₇, hi₀₋₇, lo₈₋₁₅, hi₈₋₁₅]; the 64-bit permute restores entry
+        // order so one movemask yields bit i = entry i.
+        let packed = _mm256_packs_epi16(eq_lo, eq_hi);
+        let ordered = _mm256_permute4x64_epi64::<0b11_01_10_00>(packed);
+        (_mm256_movemask_epi8(ordered) as u32) & super::used_mask(n)
+    }
+
+    /// # Safety
+    /// AVX2 must be available and 128 bytes must be readable from `pkeys`.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn match_prefix_u32(pkeys: *const u32, n: usize, mask: u32, prefix: u32) -> u32 {
+        let m = _mm256_set1_epi32(mask as i32);
+        let p = _mm256_set1_epi32(prefix as i32);
+        let mut matches = 0u32;
+        for chunk in 0..4 {
+            // SAFETY: caller guarantees 128 readable bytes: four 32-byte
+            // chunks; loadu has no alignment requirement.
+            let v = unsafe { _mm256_loadu_si256((pkeys as *const __m256i).add(chunk)) };
+            let eq = _mm256_cmpeq_epi32(_mm256_and_si256(v, m), p);
+            let mm = _mm256_movemask_ps(_mm256_castsi256_ps(eq)) as u32;
+            matches |= mm << (chunk * 8);
+        }
+        matches & super::used_mask(n)
+    }
 }
 
 /// Search 8-bit sparse partial keys for the highest-index subset match.
@@ -202,6 +290,68 @@ pub unsafe fn search_subset_u32(pkeys: *const u32, n: usize, dense: u32) -> usiz
     }
     // SAFETY: caller guarantees at least `n` elements are readable.
     search_subset_u32_scalar(unsafe { core::slice::from_raw_parts(pkeys, n) }, n, dense)
+}
+
+/// Bitmask of the 8-bit sparse partial keys equal to `prefix` under `mask`
+/// (bit `i` set iff `pkeys[i] & mask == prefix`).
+///
+/// The range-scan seek uses this to find the contiguous run of entries
+/// sharing a path prefix with one vector compare instead of a scalar walk
+/// in both directions (`RawNode::affected_range`).
+///
+/// # Safety
+/// `n` must be in `1..=32` and [`PADDED_BYTES_U8`] bytes must be readable
+/// from `pkeys`.
+#[inline]
+pub unsafe fn match_prefix_u8(pkeys: *const u8, n: usize, mask: u8, prefix: u8) -> u32 {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if crate::features().avx2 {
+            // SAFETY: AVX2 verified at runtime; the caller's readable-bytes
+            // contract ([`PADDED_BYTES_U8`]) covers the vector loads.
+            return unsafe { avx2::match_prefix_u8(pkeys, n, mask, prefix) };
+        }
+    }
+    // SAFETY: caller guarantees at least `n` elements are readable.
+    match_prefix_u8_scalar(unsafe { core::slice::from_raw_parts(pkeys, n) }, n, mask, prefix)
+}
+
+/// Bitmask of the 16-bit sparse partial keys equal to `prefix` under `mask`.
+///
+/// # Safety
+/// `n` must be in `1..=32` and [`PADDED_BYTES_U16`] bytes must be readable
+/// from `pkeys`. `pkeys` must be 2-byte aligned.
+#[inline]
+pub unsafe fn match_prefix_u16(pkeys: *const u16, n: usize, mask: u16, prefix: u16) -> u32 {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if crate::features().avx2 {
+            // SAFETY: AVX2 verified at runtime; the caller's readable-bytes
+            // contract ([`PADDED_BYTES_U16`]) covers the vector loads.
+            return unsafe { avx2::match_prefix_u16(pkeys, n, mask, prefix) };
+        }
+    }
+    // SAFETY: caller guarantees at least `n` elements are readable.
+    match_prefix_u16_scalar(unsafe { core::slice::from_raw_parts(pkeys, n) }, n, mask, prefix)
+}
+
+/// Bitmask of the 32-bit sparse partial keys equal to `prefix` under `mask`.
+///
+/// # Safety
+/// `n` must be in `1..=32` and [`PADDED_BYTES_U32`] bytes must be readable
+/// from `pkeys`. `pkeys` must be 4-byte aligned.
+#[inline]
+pub unsafe fn match_prefix_u32(pkeys: *const u32, n: usize, mask: u32, prefix: u32) -> u32 {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if crate::features().avx2 {
+            // SAFETY: AVX2 verified at runtime; the caller's readable-bytes
+            // contract ([`PADDED_BYTES_U32`]) covers the vector loads.
+            return unsafe { avx2::match_prefix_u32(pkeys, n, mask, prefix) };
+        }
+    }
+    // SAFETY: caller guarantees at least `n` elements are readable.
+    match_prefix_u32_scalar(unsafe { core::slice::from_raw_parts(pkeys, n) }, n, mask, prefix)
 }
 
 #[cfg(test)]
@@ -279,6 +429,67 @@ mod tests {
             assert_eq!(search_subset_u8(raw.as_ptr(), 32, 0xFF), 31);
             assert_eq!(search_subset_u8(raw.as_ptr(), 32, 0x1F), 31);
             assert_eq!(search_subset_u8(raw.as_ptr(), 32, 0x10), 16);
+        }
+    }
+
+    #[test]
+    fn match_prefix_agrees_with_scalar() {
+        // Pseudo-random sparse keys; every (mask, prefix) pair drawn from
+        // actual entries so matches are non-trivial.
+        let mut raw8 = [0u8; 32];
+        let mut raw16 = [0u16; 32];
+        let mut raw32 = [0u32; 32];
+        let mut x = 0x9E37_79B9u32;
+        for i in 0..32 {
+            x = x.wrapping_mul(0x85EB_CA6B).rotate_left(13) ^ i as u32;
+            raw8[i] = x as u8;
+            raw16[i] = x as u16;
+            raw32[i] = x;
+        }
+        for n in [1usize, 2, 5, 16, 31, 32] {
+            for mask in [0u32, 0x1, 0x80, 0xF0, 0xFF, 0xFFFF, 0xFFFF_0000, u32::MAX] {
+                for through in [0usize, n / 2, n - 1] {
+                    let p8 = raw8[through] as u32 & mask;
+                    let p16 = raw16[through] as u32 & mask;
+                    let p32 = raw32[through] & mask;
+                    // SAFETY: the arrays are 32 entries — the full SIMD
+                    // padding; `n` never exceeds the live prefix.
+                    unsafe {
+                        assert_eq!(
+                            match_prefix_u8(raw8.as_ptr(), n, mask as u8, p8 as u8),
+                            match_prefix_u8_scalar(&raw8, n, mask as u8, p8 as u8),
+                            "u8 n={n} mask={mask:x}"
+                        );
+                        assert_eq!(
+                            match_prefix_u16(raw16.as_ptr(), n, mask as u16, p16 as u16),
+                            match_prefix_u16_scalar(&raw16, n, mask as u16, p16 as u16),
+                            "u16 n={n} mask={mask:x}"
+                        );
+                        assert_eq!(
+                            match_prefix_u32(raw32.as_ptr(), n, mask, p32),
+                            match_prefix_u32_scalar(&raw32, n, mask, p32),
+                            "u32 n={n} mask={mask:x}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn match_prefix_masks_padding_and_sets_member_bit() {
+        // Entries beyond `n` hold 0xAA… which matches (mask=0, prefix=0);
+        // they must be masked off. The member entry's own bit is always set.
+        let pkeys = padded_u8(&[0b0000, 0b0001, 0b0100, 0b0101]);
+        // SAFETY: padded to 32 entries as the contract requires.
+        unsafe {
+            // mask selects the high nibble; entries 0,1 share prefix 0b0000,
+            // entries 2,3 share 0b0100.
+            assert_eq!(match_prefix_u8(pkeys.as_ptr(), 4, 0xFC, 0b0000), 0b0011);
+            assert_eq!(match_prefix_u8(pkeys.as_ptr(), 4, 0xFC, 0b0100), 0b1100);
+            // mask = 0: every live entry matches prefix 0, none of the
+            // padding leaks in.
+            assert_eq!(match_prefix_u8(pkeys.as_ptr(), 4, 0, 0), 0b1111);
         }
     }
 

@@ -45,6 +45,7 @@ pub mod bulk;
 pub mod invariants;
 pub mod map;
 pub mod node;
+pub mod scan;
 pub mod sync;
 pub mod sync_shim;
 pub mod trie;
@@ -54,4 +55,5 @@ pub use bulk::BulkLoadError;
 pub use invariants::InvariantReport;
 pub use map::HotMap;
 pub use node::{MemCounter, NodeRef, NodeTag, MAX_FANOUT};
+pub use scan::{ScanBatchCursor, ScanCursor};
 pub use trie::HotTrie;

@@ -1011,14 +1011,31 @@ impl RawNode {
             (((1u64 << rank) - 1) << (m - rank)) as u32
         };
         let prefix = self.sparse_key(through) & mask;
-        let mut lo = through;
-        while lo > 0 && self.sparse_key(lo - 1) & mask == prefix {
-            lo -= 1;
-        }
-        let mut hi = through;
-        while hi + 1 < self.count() && self.sparse_key(hi + 1) & mask == prefix {
-            hi += 1;
-        }
+        let n = self.count();
+        let base = self.pkeys_base();
+        // One SIMD compare replaces the scalar two-direction narrowing walk:
+        // bit i of `matches` is set iff entry i shares the path prefix above
+        // `pos` (the range-scan seek and the insert path both call this on a
+        // hot path).
+        // SAFETY: the allocation reserves the SIMD padding behind the
+        // partial-key section (see `geometry`) and n is in 1..=32.
+        let matches = unsafe {
+            match self.tag.key_width() {
+                1 => hot_bits::match_prefix_u8(base, n, mask as u8, prefix as u8),
+                2 => hot_bits::match_prefix_u16(base as *const u16, n, mask as u16, prefix as u16),
+                _ => hot_bits::match_prefix_u32(base as *const u32, n, mask, prefix),
+            }
+        };
+        debug_assert!(matches & (1 << through) != 0, "member entry matches itself");
+        // The affected range is the maximal run of consecutive matches
+        // containing `through` (matching entries are contiguous in a
+        // well-formed node — the subtree below `pos` is one in-order run —
+        // but computing the run keeps the result identical to the scalar
+        // narrowing even on a transiently inconsistent concurrent read).
+        let above = !matches >> through;
+        let hi = (through + above.trailing_zeros() as usize - 1).min(n - 1);
+        let below = !matches << (31 - through);
+        let lo = through + 1 - (below.leading_zeros() as usize).min(through + 1);
         (lo, hi)
     }
 

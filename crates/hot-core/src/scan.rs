@@ -1,0 +1,431 @@
+//! Allocation-free, prefetch-pipelined range scans (workload E fast path).
+//!
+//! A YCSB-E scan is `range_from(start).take(len)`: seek to the first entry
+//! `>= start`, then walk leaves in order. Done naively that costs, per
+//! operation, a fresh frame-stack `Vec`, a fresh output `Vec`, a 264-byte
+//! padded-key zeroing — and one *dependent* cache miss per visited node,
+//! because the in-order walk only discovers a subtree's address one hop
+//! before it needs it.
+//!
+//! Two cursors fix this:
+//!
+//! * [`ScanCursor`] owns the seek/traversal state (padded start key, descent
+//!   path, frame stack) and is reused across calls —
+//!   [`scan_with`](crate::HotTrie::scan_with) touches the heap only when a
+//!   buffer has to grow, so repeated scans are allocation-free steady-state.
+//!   During the drain it prefetches a subtree's node *before* descending
+//!   into it and the **next sibling subtree's header** at the same moment,
+//!   so the sibling's miss overlaps the entire walk of the current subtree
+//!   instead of serializing behind it (the inter-node analogue of the
+//!   Section 4.5 intra-node prefetch).
+//! * [`ScanBatchCursor`] services many scan requests per call the way
+//!   [`BatchCursor`](crate::BatchCursor) services point lookups: the *seek
+//!   descents* of G scans advance round-robin, each hop prefetching the
+//!   lane's next node, so G seek misses stay in flight concurrently. The
+//!   drains then run lane-by-lane (an in-order walk cannot be reordered)
+//!   with the sibling prefetch above. On
+//!   [`ConcurrentHot`](crate::sync::ConcurrentHot) the whole batch runs
+//!   under a **single epoch pin**, re-reading the root once per group so a
+//!   long batch never pins one stale root (same protocol as `get_batch`).
+//!
+//! Results are written into caller-owned buffers (`&mut Vec<u64>`); batched
+//! results land flat in one TID vector with a bounds (prefix-offset) vector,
+//! so a full batch costs zero allocations once the buffers warmed up.
+
+use crate::node::NodeRef;
+use hot_keys::{KeySource, PaddedKey, KEY_SCRATCH_LEN};
+
+/// Cache lines prefetched per upcoming node — matches the point-lookup path
+/// (Section 4.5: header + partial keys + values).
+const PREFETCH_LINES: usize = 4;
+
+/// Cache lines prefetched of the *next sibling* subtree's node while the
+/// current subtree is walked. One line covers the header and the partial-key
+/// section of every layout; the full node follows when the walk arrives.
+const SIBLING_PREFETCH_LINES: usize = 1;
+
+/// Reusable range-scan state: padded start key, descent path and in-order
+/// frame stack.
+///
+/// One cursor serves any number of sequential
+/// [`scan_with`](crate::HotTrie::scan_with) calls; everything it owns is
+/// recycled, so steady-state scans allocate nothing. Creating one per scan
+/// ([`scan_into`](crate::HotTrie::scan_into) does) costs one boxed key
+/// buffer plus two empty `Vec`s.
+pub struct ScanCursor {
+    /// Padded start key (boxed: moving the cursor must not copy 272 bytes).
+    key: Box<PaddedKey>,
+    /// Root-to-leaf descent path of the seek: (node, taken entry index).
+    path: Vec<(NodeRef, usize)>,
+    /// In-order traversal stack: (node, next entry index).
+    frames: Vec<(NodeRef, usize)>,
+}
+
+impl Default for ScanCursor {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ScanCursor {
+    /// A fresh cursor (buffers grow on first use).
+    pub fn new() -> Self {
+        ScanCursor {
+            key: Box::new(PaddedKey::new()),
+            path: Vec::new(),
+            frames: Vec::new(),
+        }
+    }
+
+    /// Run one scan against `root`, appending up to `limit` TIDs (keys
+    /// `>= key`, ascending) to `out`.
+    ///
+    /// Accepts any root word (node, leaf, null) so both tries share the
+    /// entry point. Appends — callers decide whether `out` accumulates
+    /// (batching) or was cleared (single scan).
+    pub(crate) fn scan_root<S: KeySource>(
+        &mut self,
+        root: NodeRef,
+        source: &S,
+        key: &[u8],
+        limit: usize,
+        out: &mut Vec<u64>,
+    ) {
+        if limit == 0 {
+            return;
+        }
+        if root.is_null() {
+            return;
+        }
+        let mut scratch = [0u8; KEY_SCRATCH_LEN];
+        if root.is_leaf() {
+            if source.load_key(root.tid(), &mut scratch) >= key {
+                out.push(root.tid());
+            }
+            return;
+        }
+
+        // Seek: descend to the candidate leaf, recording the path and
+        // prefetching each next hop before the current node's entry decode
+        // retires.
+        self.key.set(key);
+        self.path.clear();
+        let mut cur = root;
+        while cur.is_node() {
+            let raw = cur.as_raw();
+            let (idx, next) = raw.find_candidate(self.key.padded());
+            if next.is_node() {
+                hot_bits::prefetch_node(next.as_raw().base, PREFETCH_LINES);
+            }
+            self.path.push((cur, idx));
+            cur = next;
+        }
+        let limit = limit.saturating_add(out.len());
+        position_frames(source, &self.key, &self.path, cur, &mut self.frames, out);
+        drain_frames(&mut self.frames, limit, out);
+    }
+}
+
+/// Turn a completed seek descent into an in-order frame stack positioned at
+/// the first entry `>= key`, pushing the exact-match TID (if any) to `out`.
+///
+/// `leaf` is the descent's terminal word: a leaf, or null when a slot was
+/// observed mid-update on the concurrent index (treated as a mismatch above
+/// everything, which resumes the scan at a defined position).
+fn position_frames<S: KeySource>(
+    source: &S,
+    key: &PaddedKey,
+    path: &[(NodeRef, usize)],
+    leaf: NodeRef,
+    frames: &mut Vec<(NodeRef, usize)>,
+    out: &mut Vec<u64>,
+) {
+    frames.clear();
+    let mut scratch = [0u8; KEY_SCRATCH_LEN];
+    let mismatch = if leaf.is_leaf() {
+        let stored = source.load_key(leaf.tid(), &mut scratch);
+        hot_bits::first_mismatch_bit(stored, key.bytes())
+    } else {
+        Some(0)
+    };
+    match mismatch {
+        None => {
+            // Exact hit: resume every ancestor after its taken entry and
+            // yield the hit first.
+            for &(node, idx) in path {
+                frames.push((node, idx + 1));
+            }
+            out.push(leaf.tid());
+        }
+        Some(pos) => {
+            // Locate the node the mismatch splits (same rule as insert),
+            // then start at the boundary of the affected entry run — found
+            // with one SIMD prefix compare (`affected_range`), not a scalar
+            // narrowing walk.
+            let mut level = path.len() - 1;
+            while level > 0 && path[level].0.as_raw().min_position() as usize > pos {
+                level -= 1;
+            }
+            for &(node, idx) in &path[..level] {
+                frames.push((node, idx + 1));
+            }
+            let (target, idx) = path[level];
+            let (lo, hi) = target.as_raw().affected_range(pos, idx);
+            let start = if hot_bits::bit_at(key.bytes(), pos) == 0 {
+                lo // the search key precedes the affected subtree
+            } else {
+                hi + 1 // the search key follows the affected subtree
+            };
+            frames.push((target, start));
+        }
+    }
+}
+
+/// Drain an in-order frame stack until `out` holds `limit` TIDs or the
+/// frames are exhausted, prefetching one subtree ahead.
+fn drain_frames(frames: &mut Vec<(NodeRef, usize)>, limit: usize, out: &mut Vec<u64>) {
+    while out.len() < limit {
+        let Some(&(node, idx)) = frames.last() else {
+            break;
+        };
+        let raw = node.as_raw();
+        if idx >= raw.count() {
+            frames.pop();
+            continue;
+        }
+        frames.last_mut().expect("non-empty").1 += 1;
+        let value = raw.value(idx);
+        if value.is_leaf() {
+            out.push(value.tid());
+        } else if value.is_node() {
+            // The subtree we are about to walk, plus the header of the
+            // sibling that follows it: the sibling's miss resolves while
+            // this whole subtree is traversed, instead of stalling the walk
+            // when the frame advances.
+            hot_bits::prefetch_node(value.as_raw().base, PREFETCH_LINES);
+            if idx + 1 < raw.count() {
+                let sib = raw.value(idx + 1);
+                if sib.is_node() {
+                    hot_bits::prefetch_node(sib.as_raw().base, SIBLING_PREFETCH_LINES);
+                }
+            }
+            frames.push((value, 0));
+        }
+        // Null slots (concurrent mid-update) are skipped: the entry's new
+        // value is published with a single store the scan either sees or
+        // not — exactly the paper's reader guarantee.
+    }
+}
+
+/// One in-flight scan request of a batch.
+struct ScanLane {
+    /// Padded start key.
+    key: PaddedKey,
+    /// Current descent position (node while descending; leaf/null once
+    /// done).
+    cur: NodeRef,
+    /// Recorded descent path.
+    path: Vec<(NodeRef, usize)>,
+    /// In-order frame stack (reused across batches).
+    frames: Vec<(NodeRef, usize)>,
+}
+
+impl ScanLane {
+    fn new() -> Self {
+        ScanLane {
+            key: PaddedKey::new(),
+            cur: NodeRef::NULL,
+            path: Vec::new(),
+            frames: Vec::new(),
+        }
+    }
+}
+
+/// Reusable state machine batching many range scans: seek descents advance
+/// round-robin (one hop per lane per round, next node prefetched), then each
+/// lane drains in request order.
+///
+/// Group size trades overlap against cache pressure exactly as for
+/// [`BatchCursor`](crate::BatchCursor); the default matches
+/// [`DEFAULT_GROUP`](crate::DEFAULT_GROUP).
+pub struct ScanBatchCursor {
+    group: usize,
+    lanes: Vec<ScanLane>,
+    /// Worklist of lane indices still descending, compacted in place.
+    active: Vec<usize>,
+}
+
+impl Default for ScanBatchCursor {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ScanBatchCursor {
+    /// Cursor with the default group size
+    /// ([`DEFAULT_GROUP`](crate::DEFAULT_GROUP)).
+    pub fn new() -> Self {
+        Self::with_group(crate::batch::DEFAULT_GROUP)
+    }
+
+    /// Cursor keeping up to `group` seek descents in flight (≥ 1).
+    pub fn with_group(group: usize) -> Self {
+        assert!(group >= 1, "group size must be at least 1");
+        ScanBatchCursor {
+            group,
+            lanes: Vec::new(),
+            active: Vec::new(),
+        }
+    }
+
+    /// The configured group size.
+    pub fn group(&self) -> usize {
+        self.group
+    }
+
+    /// Service one group of at most `group` requests against `root`,
+    /// appending each scan's TIDs to `tids` and one end offset per request
+    /// to `bounds`.
+    pub(crate) fn run_group<S, K>(
+        &mut self,
+        root: NodeRef,
+        source: &S,
+        requests: &[(K, usize)],
+        tids: &mut Vec<u64>,
+        bounds: &mut Vec<usize>,
+    ) where
+        S: KeySource,
+        K: AsRef<[u8]>,
+    {
+        let n = requests.len();
+        debug_assert!(n <= self.group, "caller chunks batches by group size");
+        while self.lanes.len() < n {
+            self.lanes.push(ScanLane::new());
+        }
+        self.active.clear();
+
+        // Load phase: stage every start key, point every lane at the root.
+        for (lane, (key, _)) in self.lanes.iter_mut().zip(requests) {
+            lane.key.set(key.as_ref());
+            lane.cur = root;
+            lane.path.clear();
+        }
+        for lane in 0..n {
+            if root.is_node() {
+                self.active.push(lane);
+            }
+        }
+
+        // Seek phase: every pass advances each in-flight descent exactly one
+        // node, prefetching the hop after it — G seek misses overlap instead
+        // of serializing (the drain below then finds the upper tree levels
+        // resident).
+        let mut live = self.active.len();
+        while live > 0 {
+            let mut kept = 0;
+            for slot in 0..live {
+                let lane = &mut self.lanes[self.active[slot]];
+                let raw = lane.cur.as_raw();
+                let (idx, next) = raw.find_candidate(lane.key.padded());
+                lane.path.push((lane.cur, idx));
+                lane.cur = next;
+                if next.is_node() {
+                    hot_bits::prefetch_node(next.as_raw().base, PREFETCH_LINES);
+                    self.active[kept] = self.active[slot];
+                    kept += 1;
+                } else if next.is_leaf() {
+                    // The mismatch check against the stored key runs in the
+                    // drain phase; start its miss now.
+                    source.prefetch_key(next.tid());
+                }
+            }
+            live = kept;
+        }
+
+        // Drain phase, in request order: position each lane's frames at its
+        // start entry and walk leaves until the lane's limit.
+        let mut scratch = [0u8; KEY_SCRATCH_LEN];
+        for (lane, (key, limit)) in self.lanes.iter_mut().zip(requests) {
+            let begin = tids.len();
+            let limit = *limit;
+            if limit > 0 && root.is_leaf() {
+                if source.load_key(root.tid(), &mut scratch) >= key.as_ref() {
+                    tids.push(root.tid());
+                }
+            } else if limit > 0 && root.is_node() {
+                position_frames(source, &lane.key, &lane.path, lane.cur, &mut lane.frames, tids);
+                drain_frames(&mut lane.frames, begin.saturating_add(limit), tids);
+            }
+            bounds.push(tids.len());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::HotTrie;
+    use hot_keys::{encode_u64, EmbeddedKeySource};
+
+    fn build(n: u64) -> HotTrie<EmbeddedKeySource> {
+        let mut t = HotTrie::new(EmbeddedKeySource);
+        for v in 0..n {
+            t.insert(&encode_u64(v * 3), v * 3);
+        }
+        t
+    }
+
+    #[test]
+    fn scan_with_matches_scan_across_reuse() {
+        let t = build(5_000);
+        let mut cursor = super::ScanCursor::new();
+        let mut out = Vec::new();
+        for start in [0u64, 1, 2, 3, 299, 14_996, 14_997, 15_000, u64::MAX] {
+            for limit in [0usize, 1, 7, 100] {
+                t.scan_with(&encode_u64(start), limit, &mut out, &mut cursor);
+                assert_eq!(out, t.scan(&encode_u64(start), limit), "start={start} limit={limit}");
+            }
+        }
+    }
+
+    #[test]
+    fn scan_batch_matches_sequential_scans() {
+        let t = build(4_000);
+        let requests: Vec<([u8; 8], usize)> = (0..64u64)
+            .map(|i| (encode_u64(i * 191), (i % 13) as usize))
+            .collect();
+        let mut tids = Vec::new();
+        let mut bounds = Vec::new();
+        t.scan_batch(&requests, &mut tids, &mut bounds);
+        assert_eq!(bounds.len(), requests.len() + 1);
+        for (i, (key, limit)) in requests.iter().enumerate() {
+            assert_eq!(
+                &tids[bounds[i]..bounds[i + 1]],
+                t.scan(key, *limit).as_slice(),
+                "request {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn scan_batch_on_empty_and_single_leaf_trees() {
+        let requests = [(encode_u64(0), 5usize), (encode_u64(9), 5)];
+        let (mut tids, mut bounds) = (Vec::new(), Vec::new());
+
+        let t: HotTrie<EmbeddedKeySource> = HotTrie::new(EmbeddedKeySource);
+        t.scan_batch(&requests, &mut tids, &mut bounds);
+        assert_eq!(bounds, [0, 0, 0]);
+        assert!(tids.is_empty());
+
+        let mut t = HotTrie::new(EmbeddedKeySource);
+        t.insert(&encode_u64(7), 7);
+        t.scan_batch(&requests, &mut tids, &mut bounds);
+        assert_eq!(tids, [7]);
+        assert_eq!(bounds, [0, 1, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "group size")]
+    fn zero_group_rejected() {
+        super::ScanBatchCursor::with_group(0);
+    }
+}

@@ -332,97 +332,82 @@ impl<S: KeySource> ConcurrentHot<S> {
     /// order. Wait-free; the scan observes an interleaving-consistent view
     /// (nodes replaced mid-scan keep serving their pre-replacement state,
     /// exactly as the paper describes for readers on obsolete nodes).
+    ///
+    /// Allocates the result vector and per-call cursor state; hot loops
+    /// should hold a [`ScanCursor`](crate::ScanCursor) and call
+    /// [`scan_with`](Self::scan_with) instead.
     pub fn scan(&self, key: &[u8], limit: usize) -> Vec<u64> {
-        let _guard = epoch::pin();
-        let padded = PaddedKey::from_key(key);
         // Cap the pre-size by the trie's population: short scans on small
         // tries must not over-allocate (`len()` is a racy lower bound under
         // concurrent inserts, which only costs a Vec regrow, never results).
         let mut out = Vec::with_capacity(limit.min(128).min(self.len()));
-        if limit == 0 {
-            return out;
-        }
-        // One scratch key buffer reused for every frame of the scan.
-        let mut scratch = [0u8; KEY_SCRATCH_LEN];
-
-        let root = self.load_root();
-        if root.is_null() {
-            return out;
-        }
-        if root.is_leaf() {
-            if self.source.load_key(root.tid(), &mut scratch) >= key {
-                out.push(root.tid());
-            }
-            return out;
-        }
-
-        // Descend to the candidate leaf, then position frames like the
-        // single-threaded cursor.
-        let mut path: Vec<(NodeRef, usize)> = Vec::new();
-        let mut cur = root;
-        while cur.is_node() {
-            let raw = cur.as_raw();
-            let (idx, next) = raw.find_candidate(padded.padded());
-            path.push((cur, idx));
-            cur = next;
-        }
-        let mismatch = if cur.is_leaf() {
-            let stored = self.source.load_key(cur.tid(), &mut scratch);
-            hot_bits::first_mismatch_bit(stored, key)
-        } else {
-            // A slot observed mid-update; treat as mismatch above everything.
-            Some(0)
-        };
-
-        let mut frames: Vec<(NodeRef, usize)> = Vec::new();
-        match mismatch {
-            None => {
-                for &(node, idx) in &path {
-                    frames.push((node, idx + 1));
-                }
-                out.push(cur.tid());
-                if out.len() >= limit {
-                    return out;
-                }
-            }
-            Some(pos) => {
-                let mut level = path.len() - 1;
-                while level > 0 && path[level].0.as_raw().min_position() as usize > pos {
-                    level -= 1;
-                }
-                for &(node, idx) in &path[..level] {
-                    frames.push((node, idx + 1));
-                }
-                let (target, idx) = path[level];
-                let (lo, hi) = target.as_raw().affected_range(pos, idx);
-                let start = if hot_bits::bit_at(padded.bytes(), pos) == 0 {
-                    lo
-                } else {
-                    hi + 1
-                };
-                frames.push((target, start));
-            }
-        }
-
-        // Drain frames in order.
-        while let Some(&(node, idx)) = frames.last() {
-            let raw = node.as_raw();
-            if idx >= raw.count() {
-                frames.pop();
-                continue;
-            }
-            frames.last_mut().expect("non-empty").1 += 1;
-            let value = raw.value(idx);
-            if value.is_leaf() {
-                out.push(value.tid());
-                if out.len() >= limit {
-                    break;
-                }
-            } else if value.is_node() {
-                frames.push((value, 0));
-            }
-        }
+        self.scan_into(key, limit, &mut out);
         out
+    }
+
+    /// Like [`scan`](Self::scan), writing the TIDs into `out` (cleared
+    /// first) instead of allocating a fresh vector.
+    pub fn scan_into(&self, key: &[u8], limit: usize, out: &mut Vec<u64>) {
+        let mut cursor = crate::scan::ScanCursor::new();
+        self.scan_with(key, limit, out, &mut cursor);
+    }
+
+    /// Like [`scan`](Self::scan) with caller-owned buffers: the TIDs land in
+    /// `out` (cleared first), and the padded start key, descent path and
+    /// frame stack all live in `cursor` — repeated scans allocate nothing
+    /// once the buffers warmed up, and the traversal prefetches one subtree
+    /// ahead (see [`crate::scan`]). One epoch pin per call.
+    pub fn scan_with(
+        &self,
+        key: &[u8],
+        limit: usize,
+        out: &mut Vec<u64>,
+        cursor: &mut crate::scan::ScanCursor,
+    ) {
+        out.clear();
+        let _guard = epoch::pin();
+        cursor.scan_root(self.load_root(), &self.source, key, limit, out);
+    }
+
+    /// Service many scan requests `(start key, limit)` under a **single**
+    /// epoch pin: request `i`'s TIDs land in `tids[bounds[i]..bounds[i +
+    /// 1]]` (both vectors cleared first; `bounds` gets `requests.len() + 1`
+    /// prefix offsets).
+    ///
+    /// Seek descents proceed in software-pipelined groups exactly like
+    /// [`get_batch`](Self::get_batch), and like it the batch re-reads the
+    /// root per group, so long batches never pin one stale root; each
+    /// individual scan still observes an interleaving-consistent view, as
+    /// for scalar [`scan`](Self::scan).
+    pub fn scan_batch<K: AsRef<[u8]>>(
+        &self,
+        requests: &[(K, usize)],
+        tids: &mut Vec<u64>,
+        bounds: &mut Vec<usize>,
+    ) {
+        let mut cursor = crate::scan::ScanBatchCursor::new();
+        self.scan_batch_with(requests, tids, bounds, &mut cursor);
+    }
+
+    /// Like [`scan_batch`](Self::scan_batch) with a caller-provided
+    /// [`ScanBatchCursor`](crate::ScanBatchCursor), amortizing its lane
+    /// state (and fixing the group size) across many batches.
+    pub fn scan_batch_with<K: AsRef<[u8]>>(
+        &self,
+        requests: &[(K, usize)],
+        tids: &mut Vec<u64>,
+        bounds: &mut Vec<usize>,
+        cursor: &mut crate::scan::ScanBatchCursor,
+    ) {
+        tids.clear();
+        bounds.clear();
+        bounds.push(0);
+        let _guard = epoch::pin();
+        for chunk in requests.chunks(cursor.group()) {
+            // Reload the root per group: long batches must not pin one
+            // stale root while writers replace it underneath.
+            cursor.run_group(self.load_root(), &self.source, chunk, tids, bounds);
+        }
     }
 
     /// Insert `key → tid` (upsert); returns the previous TID if present.

@@ -583,8 +583,75 @@ impl<S: KeySource> HotTrie<S> {
 
     /// Collect up to `limit` TIDs with keys `>= key` (the paper's workload E
     /// operation: "range scans accessing up to 100 elements").
+    ///
+    /// Thin wrapper over [`scan_into`](Self::scan_into) — it allocates the
+    /// result vector and per-call cursor state. Hot loops should hold a
+    /// [`ScanCursor`](crate::ScanCursor) and call
+    /// [`scan_with`](Self::scan_with) instead.
     pub fn scan(&self, key: &[u8], limit: usize) -> Vec<u64> {
-        self.range_from(key).take(limit).collect()
+        let mut out = Vec::new();
+        self.scan_into(key, limit, &mut out);
+        out
+    }
+
+    /// Like [`scan`](Self::scan), writing the TIDs into `out` (cleared
+    /// first) instead of allocating a fresh vector.
+    pub fn scan_into(&self, key: &[u8], limit: usize, out: &mut Vec<u64>) {
+        let mut cursor = crate::scan::ScanCursor::new();
+        self.scan_with(key, limit, out, &mut cursor);
+    }
+
+    /// Like [`scan`](Self::scan) with caller-owned buffers: the TIDs land in
+    /// `out` (cleared first) and every piece of traversal state lives in
+    /// `cursor`. Once the buffers have warmed up, repeated scans perform
+    /// **zero** heap allocations, and the traversal prefetches one subtree
+    /// ahead (see [`crate::scan`]).
+    pub fn scan_with(
+        &self,
+        key: &[u8],
+        limit: usize,
+        out: &mut Vec<u64>,
+        cursor: &mut crate::scan::ScanCursor,
+    ) {
+        out.clear();
+        cursor.scan_root(self.root, &self.source, key, limit, out);
+    }
+
+    /// Service many scan requests `(start key, limit)` in one call: request
+    /// `i`'s TIDs land in `tids[bounds[i]..bounds[i + 1]]` (both vectors are
+    /// cleared first; `bounds` gets `requests.len() + 1` prefix offsets).
+    ///
+    /// The seek descents of up to [`DEFAULT_GROUP`](crate::DEFAULT_GROUP)
+    /// requests proceed round-robin with one prefetch per hop, overlapping
+    /// their cache misses the way [`get_batch`](Self::get_batch) overlaps
+    /// point lookups; results are identical to calling
+    /// [`scan`](Self::scan) per request.
+    pub fn scan_batch<K: AsRef<[u8]>>(
+        &self,
+        requests: &[(K, usize)],
+        tids: &mut Vec<u64>,
+        bounds: &mut Vec<usize>,
+    ) {
+        let mut cursor = crate::scan::ScanBatchCursor::new();
+        self.scan_batch_with(requests, tids, bounds, &mut cursor);
+    }
+
+    /// Like [`scan_batch`](Self::scan_batch) with a caller-provided
+    /// [`ScanBatchCursor`](crate::ScanBatchCursor), amortizing its lane
+    /// state (and fixing the group size) across many batches.
+    pub fn scan_batch_with<K: AsRef<[u8]>>(
+        &self,
+        requests: &[(K, usize)],
+        tids: &mut Vec<u64>,
+        bounds: &mut Vec<usize>,
+        cursor: &mut crate::scan::ScanBatchCursor,
+    ) {
+        tids.clear();
+        bounds.clear();
+        bounds.push(0);
+        for chunk in requests.chunks(cursor.group()) {
+            cursor.run_group(self.root, &self.source, chunk, tids, bounds);
+        }
     }
 
     /// Iterator over TIDs with `start <= key < end`, in ascending key order

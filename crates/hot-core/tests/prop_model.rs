@@ -33,6 +33,7 @@ proptest! {
     fn matches_btreemap_model(ops in prop::collection::vec(ops(10_000), 1..500)) {
         let mut hot = HotTrie::new(EmbeddedKeySource);
         let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+        let mut got = Vec::new();
         for op in ops {
             match op {
                 Op::Insert(k) => {
@@ -45,9 +46,9 @@ proptest! {
                     prop_assert_eq!(hot.get(&encode_u64(k)), model.get(&k).copied());
                 }
                 Op::Scan(k, n) => {
-                    let got = hot.scan(&encode_u64(k), n);
+                    hot.scan_into(&encode_u64(k), n, &mut got);
                     let want: Vec<u64> = model.range(k..).take(n).map(|(_, &v)| v).collect();
-                    prop_assert_eq!(got, want);
+                    prop_assert_eq!(&got, &want);
                 }
             }
             prop_assert_eq!(hot.len(), model.len());
@@ -65,6 +66,7 @@ proptest! {
         // or two nodes, so splits, pull-ups and collapses fire constantly.
         let mut hot = HotTrie::new(EmbeddedKeySource);
         let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+        let mut got = Vec::new();
         for op in ops {
             match op {
                 Op::Insert(k) => {
@@ -77,9 +79,9 @@ proptest! {
                     prop_assert_eq!(hot.get(&encode_u64(k)), model.get(&k).copied());
                 }
                 Op::Scan(k, n) => {
-                    let got = hot.scan(&encode_u64(k), n);
+                    hot.scan_into(&encode_u64(k), n, &mut got);
                     let want: Vec<u64> = model.range(k..).take(n).map(|(_, &v)| v).collect();
-                    prop_assert_eq!(got, want);
+                    prop_assert_eq!(&got, &want);
                 }
             }
         }

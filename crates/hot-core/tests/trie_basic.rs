@@ -142,10 +142,13 @@ fn range_scans_match_sorted_order() {
     keys.dedup();
     let t = int_trie(&keys);
 
+    // The reused output buffer exercises the allocation-free `scan_into`
+    // path that the allocating `scan` wrapper delegates to.
+    let mut got = Vec::new();
     for _ in 0..200 {
         let start = rng.gen_range(0..1_000_100);
         let want: Vec<u64> = keys.iter().copied().filter(|&k| k >= start).take(100).collect();
-        let got = t.scan(&encode_u64(start), 100);
+        t.scan_into(&encode_u64(start), 100, &mut got);
         assert_eq!(got, want, "scan from {start}");
     }
     // Scan from before the smallest and past the largest key.

@@ -22,7 +22,7 @@ pub mod encode;
 pub mod source;
 pub mod stats;
 
-pub use encode::{encode_u32, encode_u64, encode_yago, str_key, KeyError};
+pub use encode::{decode_u64, encode_u32, encode_u64, encode_yago, str_key, KeyError};
 pub use source::{ArenaKeySource, EmbeddedKeySource, KeySource, KEY_SCRATCH_LEN};
 pub use stats::DepthStats;
 

@@ -278,28 +278,33 @@ impl OperationStream {
     }
 }
 
-/// An operation-stream item after read coalescing: runs of consecutive
+/// An operation-stream item after read/scan coalescing: runs of consecutive
 /// point reads are grouped so the index can resolve them with one
-/// memory-level-parallel `get_batch` call; everything else passes through
+/// memory-level-parallel `get_batch` call, runs of consecutive range scans
+/// are grouped for one `scan_batch` call, and everything else passes through
 /// unchanged and in order.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum BatchedOperation {
     /// `1..=max_batch` consecutive point reads (key indices in stream
     /// order, duplicates allowed).
     Reads(Vec<usize>),
-    /// A non-read operation, at its original position in the stream.
+    /// `1..=max_batch` consecutive range scans `(start key index, limit)`
+    /// in stream order — the workload E fast path.
+    Scans(Vec<(usize, usize)>),
+    /// Any other operation, at its original position in the stream.
     Other(Operation),
 }
 
-/// Iterator adapter coalescing consecutive [`Operation::Read`]s.
+/// Iterator adapter coalescing consecutive [`Operation::Read`]s and
+/// consecutive [`Operation::Scan`]s.
 ///
-/// Because writes are *not* reordered past reads (a batch ends at the first
-/// non-read operation), executing a batched stream is observationally
-/// identical to executing the scalar stream — required for the checksums in
-/// the benchmark driver to match between the two paths.
+/// Because operations are *not* reordered (a batch ends at the first
+/// operation of a different kind), executing a batched stream is
+/// observationally identical to executing the scalar stream — required for
+/// the checksums in the benchmark driver to match between the two paths.
 pub struct ReadBatches {
     inner: OperationStream,
-    /// A non-read operation pulled while closing the previous batch.
+    /// An operation of another kind pulled while closing the previous batch.
     pending: Option<Operation>,
     max_batch: usize,
 }
@@ -308,35 +313,49 @@ impl Iterator for ReadBatches {
     type Item = BatchedOperation;
 
     fn next(&mut self) -> Option<BatchedOperation> {
-        if let Some(op) = self.pending.take() {
-            return Some(BatchedOperation::Other(op));
-        }
-        let mut reads: Vec<usize> = Vec::new();
-        while reads.len() < self.max_batch {
-            match self.inner.next() {
-                Some(Operation::Read(idx)) => reads.push(idx),
-                Some(other) => {
-                    if reads.is_empty() {
-                        return Some(BatchedOperation::Other(other));
+        let first = match self.pending.take() {
+            Some(op) => op,
+            None => self.inner.next()?,
+        };
+        match first {
+            Operation::Read(idx) => {
+                let mut reads: Vec<usize> = vec![idx];
+                while reads.len() < self.max_batch {
+                    match self.inner.next() {
+                        Some(Operation::Read(idx)) => reads.push(idx),
+                        Some(other) => {
+                            self.pending = Some(other);
+                            break;
+                        }
+                        None => break,
                     }
-                    self.pending = Some(other);
-                    break;
                 }
-                None => break,
+                Some(BatchedOperation::Reads(reads))
             }
-        }
-        if reads.is_empty() {
-            None
-        } else {
-            Some(BatchedOperation::Reads(reads))
+            Operation::Scan(idx, len) => {
+                let mut scans: Vec<(usize, usize)> = vec![(idx, len)];
+                while scans.len() < self.max_batch {
+                    match self.inner.next() {
+                        Some(Operation::Scan(idx, len)) => scans.push((idx, len)),
+                        Some(other) => {
+                            self.pending = Some(other);
+                            break;
+                        }
+                        None => break,
+                    }
+                }
+                Some(BatchedOperation::Scans(scans))
+            }
+            other => Some(BatchedOperation::Other(other)),
         }
     }
 }
 
 impl WorkloadRun {
-    /// The operation stream with consecutive reads coalesced into batches
-    /// of at most `max_batch` (≥ 1). Yields the same operations as
-    /// [`operations`](WorkloadRun::operations), in the same order.
+    /// The operation stream with consecutive reads (and consecutive scans)
+    /// coalesced into batches of at most `max_batch` (≥ 1). Yields the same
+    /// operations as [`operations`](WorkloadRun::operations), in the same
+    /// order.
     pub fn batched_operations(&self, max_batch: usize) -> ReadBatches {
         assert!(max_batch >= 1, "batch size must be at least 1");
         ReadBatches {
@@ -512,8 +531,13 @@ mod tests {
                         assert!(!idxs.is_empty() && idxs.len() <= 8);
                         replayed.extend(idxs.into_iter().map(Operation::Read));
                     }
+                    BatchedOperation::Scans(reqs) => {
+                        assert!(!reqs.is_empty() && reqs.len() <= 8);
+                        replayed
+                            .extend(reqs.into_iter().map(|(idx, len)| Operation::Scan(idx, len)));
+                    }
                     BatchedOperation::Other(op) => {
-                        assert!(!matches!(op, Operation::Read(_)));
+                        assert!(!matches!(op, Operation::Read(_) | Operation::Scan(..)));
                         replayed.push(op);
                     }
                 }
@@ -533,7 +557,7 @@ mod tests {
                 BatchedOperation::Reads(idxs) => {
                     assert_eq!(idxs.len(), if i < 62 { 16 } else { 11 });
                 }
-                BatchedOperation::Other(_) => panic!("workload C is read-only"),
+                _ => panic!("workload C is read-only"),
             }
         }
     }
@@ -549,10 +573,44 @@ mod tests {
                     assert_eq!(idxs.len(), 1);
                     Operation::Read(idxs[0])
                 }
+                BatchedOperation::Scans(reqs) => {
+                    assert_eq!(reqs.len(), 1);
+                    Operation::Scan(reqs[0].0, reqs[0].1)
+                }
                 BatchedOperation::Other(op) => op,
             })
             .collect();
         assert_eq!(singles, scalar);
+    }
+
+    #[test]
+    fn scan_heavy_stream_coalesces_scans() {
+        // Workload E is 95% scans: most batched items must be full scan
+        // groups, and inserts must stay at their original positions.
+        let run = WorkloadRun::new(Workload::E, RequestDistribution::Uniform, 2_000, 20_000, 17);
+        let mut scan_groups = 0usize;
+        let mut full_groups = 0usize;
+        let mut scans = 0usize;
+        for item in run.batched_operations(8) {
+            match item {
+                BatchedOperation::Scans(reqs) => {
+                    scan_groups += 1;
+                    scans += reqs.len();
+                    if reqs.len() == 8 {
+                        full_groups += 1;
+                    }
+                }
+                BatchedOperation::Other(op) => {
+                    assert!(matches!(op, Operation::Insert(_)), "E mixes scans and inserts only");
+                }
+                BatchedOperation::Reads(_) => panic!("workload E has no point reads"),
+            }
+        }
+        assert!(scans > 18_000, "95% of 20k ops are scans");
+        // With a 5% insert rate the expected scan-run length is ~19, so a
+        // clear majority of groups arrive full (a run of length L yields
+        // ⌊L/8⌋ full groups plus at most one partial one).
+        assert!(full_groups * 2 > scan_groups, "most scan groups are full");
     }
 
     #[test]

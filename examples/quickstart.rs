@@ -53,6 +53,21 @@ fn main() {
     println!("batched lookups: {found:?}");
     assert_eq!(found, vec![Some(42), None, Some(1 << 40), None]);
 
+    // Range scans: `scan` allocates per call; a reused `ScanCursor` +
+    // output buffer makes the steady state allocation-free, and
+    // `scan_batch_with` overlaps the seek descents of a whole group
+    // (results land flat, delimited by prefix offsets in `bounds`).
+    let mut cursor = hot_core::ScanCursor::new();
+    let mut run = Vec::new();
+    trie.scan_with(&encode_u64(8), 2, &mut run, &mut cursor);
+    println!("scan from 8, limit 2: {run:?}");
+    assert_eq!(run, vec![42, 123_456_789]);
+    let requests = [(encode_u64(0), 2), (encode_u64(100), 10)];
+    let (mut tids, mut bounds) = (Vec::new(), Vec::new());
+    trie.scan_batch_with(&requests, &mut tids, &mut bounds, &mut hot_core::ScanBatchCursor::new());
+    assert_eq!(tids[bounds[0]..bounds[1]], [7, 42]);
+    assert_eq!(tids[bounds[1]..bounds[2]], [123_456_789, 1 << 40]);
+
     // Bulk loading: a sorted key set builds bottom-up in one pass — every
     // node encoded once at its final size, height provably minimal. The
     // result answers lookups exactly like the insert-loop trie. (The figure
