@@ -20,11 +20,20 @@
 //! published with a single root CAS. This measures how the parallel
 //! subtrie construction itself scales, independent of the insert protocol.
 //!
+//! With `--metrics` (requires a binary built with `--features metrics`),
+//! every thread count additionally reports a `restart_rate` row — ROWEX
+//! restarts per write from the trie's own health counters — and the full
+//! counter set (lock failures, restarts, obsolete sightings, epoch pins,
+//! deferred-free queue depth) is written to
+//! `results/BENCH_metrics_fig10.json`.
+//!
 //! ```text
 //! cargo run --release -p hot-bench --bin fig10_scalability -- --keys 1000000 --ops 2000000 --threads 1,2,4,8
 //! ```
 
 use hot_bench::{mops, row, BenchData, Config};
+#[cfg(feature = "metrics")]
+use hot_core::hot_metrics::RowexCounter;
 use hot_core::sync::ConcurrentHot;
 use hot_core::BatchCursor;
 use hot_keys::PaddedKey;
@@ -65,8 +74,10 @@ fn main() {
     let mut lookup_base = None;
     let mut batch_base = None;
     let mut bulk_base = None;
+    let mut metrics_rows: Vec<(usize, String)> = Vec::new();
     for &threads in &config.threads {
-        let (insert_mops, lookup_mops, batch_mops) = run_with_threads(&data, threads, &config);
+        let (insert_mops, lookup_mops, batch_mops, rowex) =
+            run_with_threads(&data, threads, &config);
         let ib = *insert_base.get_or_insert(insert_mops);
         let lb = *lookup_base.get_or_insert(lookup_mops);
         let bb = *batch_base.get_or_insert(batch_mops);
@@ -88,6 +99,15 @@ fn main() {
             format!("{batch_mops:.3}"),
             format!("{:.2}", batch_mops / bb),
         ]);
+        if let Some((rate, json)) = rowex {
+            row(&[
+                "restart_rate".into(),
+                threads.to_string(),
+                format!("{rate:.4}"),
+                "-".into(),
+            ]);
+            metrics_rows.push((threads, json));
+        }
         if let Some((keys, tids)) = &sorted {
             let bulk_mops = run_bulk_with_threads(&data, keys, tids, threads);
             let base = *bulk_base.get_or_insert(bulk_mops);
@@ -98,6 +118,35 @@ fn main() {
                 format!("{:.2}", bulk_mops / base),
             ]);
         }
+    }
+    if !metrics_rows.is_empty() {
+        write_metrics_json(&config, &metrics_rows);
+    }
+}
+
+/// Hand-rolled JSON: one ROWEX health-counter object per thread count,
+/// written only under `--metrics` with the `metrics` feature built in.
+fn write_metrics_json(config: &Config, rows: &[(usize, String)]) {
+    let mut out = String::new();
+    out.push_str("{\n  \"bench\": \"fig10_rowex_health\",\n");
+    out.push_str(&format!(
+        "  \"keys\": {}, \"ops\": {}, \"seed\": {},\n",
+        config.keys, config.ops, config.seed
+    ));
+    out.push_str("  \"rows\": [\n");
+    for (i, (_, json)) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {json}{}\n",
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    if let Err(e) = std::fs::create_dir_all("results")
+        .and_then(|()| std::fs::write("results/BENCH_metrics_fig10.json", &out))
+    {
+        eprintln!("# could not write results/BENCH_metrics_fig10.json: {e}");
+    } else {
+        eprintln!("# wrote results/BENCH_metrics_fig10.json");
     }
 }
 
@@ -115,7 +164,14 @@ fn run_bulk_with_threads(data: &BenchData, keys: &[&[u8]], tids: &[u64], threads
     mops(n, elapsed)
 }
 
-fn run_with_threads(data: &BenchData, threads: usize, config: &Config) -> (f64, f64, f64) {
+/// Insert / lookup / batched-lookup phases at one thread count. The fourth
+/// element is `Some((restart_rate, rowex_json))` only under `--metrics`
+/// with the `metrics` feature compiled in.
+fn run_with_threads(
+    data: &BenchData,
+    threads: usize,
+    config: &Config,
+) -> (f64, f64, f64, Option<(f64, String)>) {
     let trie = Arc::new(ConcurrentHot::new(Arc::clone(&data.arena)));
     let keys = Arc::new(data.dataset.keys.clone());
     let tids = Arc::new(data.tids.clone());
@@ -195,5 +251,27 @@ fn run_with_threads(data: &BenchData, threads: usize, config: &Config) -> (f64, 
         }
     });
     let batch_mops = mops(groups * batch * threads, start.elapsed().as_secs_f64());
-    (insert_mops, lookup_mops, batch_mops)
+
+    // ROWEX health counters, read after (never inside) the timed phases.
+    #[cfg(feature = "metrics")]
+    let rowex = config.metrics.then(|| {
+        let snap = trie.metrics_ops_snapshot();
+        let rate = snap.rowex.restart_rate(snap.write_ops());
+        let json = format!(
+            "{{\"threads\": {}, \"lock_failures\": {}, \"restarts\": {}, \"obsolete_seen\": {}, \"epoch_pins\": {}, \"deferred_queued\": {}, \"deferred_freed\": {}, \"deferred_depth\": {}, \"restart_rate\": {rate:.6}}}",
+            threads,
+            snap.rowex.get(RowexCounter::LockFail),
+            snap.rowex.get(RowexCounter::Restart),
+            snap.rowex.get(RowexCounter::ObsoleteSeen),
+            snap.rowex.get(RowexCounter::EpochPin),
+            snap.rowex.get(RowexCounter::DeferredQueued),
+            snap.rowex.get(RowexCounter::DeferredFreed),
+            snap.rowex.deferred_depth(),
+        );
+        (rate, json)
+    });
+    #[cfg(not(feature = "metrics"))]
+    let rowex: Option<(f64, String)> = None;
+
+    (insert_mops, lookup_mops, batch_mops, rowex)
 }

@@ -29,6 +29,14 @@
 //! monotonicity, key ordering, full re-lookup — see `hot_core::invariants`).
 //! The checks run strictly outside the timed regions, so reported
 //! throughput is unchanged; the run aborts on the first violation.
+//!
+//! With `--metrics` (requires a binary built with `--features metrics`),
+//! an extra instrumented pass runs *after* the timed figure on fresh
+//! indexes: per workload phase it reports operation counts and p50/p99/p999
+//! latencies from the in-trie histograms, plus ROWEX health counters
+//! (restarts, lock failures, epoch pins) from a concurrent mixed run, all
+//! written to `results/BENCH_metrics.json`. The figure's own timed numbers
+//! are never taken from instrumented indexes.
 
 use hot_bench::{
     all_indexes, row, run_load, run_load_bulk, run_transactions, run_transactions_batched,
@@ -256,6 +264,10 @@ fn main() {
     if config.bulk {
         write_bulk_json(&config, &bulk_records);
     }
+    #[cfg(feature = "metrics")]
+    if config.metrics {
+        metrics_pass::run(&config);
+    }
 }
 
 /// Bulk-built indexes must resolve exactly the keys they were loaded with.
@@ -390,5 +402,252 @@ fn write_bulk_json(config: &Config, records: &[BulkRecord]) {
         eprintln!("# could not write results/BENCH_bulk.json: {e}");
     } else {
         eprintln!("# wrote results/BENCH_bulk.json");
+    }
+}
+
+/// `--metrics` instrumented pass (only with the `metrics` cargo feature).
+///
+/// Runs on fresh indexes after the timed figure so the figure's throughput
+/// numbers are never taken from snapshotted runs. Per data set:
+///
+/// * a single-threaded `HotIndex` goes through load / workload C /
+///   batched C / workload E with a [`PhaseRecorder`] diffing the trie's
+///   cumulative histograms at each phase boundary — per-phase per-op
+///   count, mean and p50/p99/p999 latency;
+/// * a `ConcurrentHot` with the largest `--threads` budget runs a striped
+///   load plus a 90/10 read/upsert mix, and its ROWEX health counters
+///   (lock failures, restarts, obsolete sightings, epoch pins, deferred
+///   frees) and restart rate are reported;
+/// * the single-threaded trie's structural gauges (layout census, height,
+///   fill) are sampled once at the end.
+///
+/// Everything lands in `results/BENCH_metrics.json`; the headline
+/// percentiles are also printed as `metrics` rows.
+#[cfg(feature = "metrics")]
+mod metrics_pass {
+    use hot_bench::{
+        row, run_load, run_transactions, run_transactions_batched, BenchData, Config, HotIndex,
+    };
+    use hot_core::hot_metrics::{OpKind, RowexCounter, StructuralSnapshot};
+    use hot_core::sync::ConcurrentHot;
+    use hot_keys::PaddedKey;
+    use hot_ycsb::phase::PhaseRecorder;
+    use hot_ycsb::{Dataset, DatasetKind, RequestDistribution, Workload, WorkloadRun};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use std::sync::Arc;
+
+    pub(super) fn run(config: &Config) {
+        println!("# metrics: instrumented pass (feature \"metrics\"): per-phase latency percentiles + ROWEX health");
+        row(&[
+            "metrics".into(),
+            "dataset".into(),
+            "phase".into(),
+            "op".into(),
+            "count".into(),
+            "p50_ns".into(),
+            "p99_ns".into(),
+            "p999_ns".into(),
+        ]);
+
+        let mut out = String::new();
+        out.push_str("{\n  \"bench\": \"fig8_metrics\",\n");
+        out.push_str(&format!(
+            "  \"keys\": {}, \"ops\": {}, \"seed\": {}, \"batch\": {},\n",
+            config.keys, config.ops, config.seed, config.batch
+        ));
+        out.push_str("  \"datasets\": {\n");
+
+        for (di, &kind) in DatasetKind::ALL.iter().enumerate() {
+            let e_run = WorkloadRun::new(
+                Workload::E,
+                RequestDistribution::Uniform,
+                config.keys,
+                config.ops,
+                config.seed,
+            );
+            let data = BenchData::new(Dataset::generate(
+                kind,
+                config.keys + e_run.reserve_keys(),
+                config.seed,
+            ));
+
+            let (rec, structure) = single_thread_phases(config, &data, &e_run);
+            let (rowex_json, restart_rate) = concurrent_pass(config, &data);
+
+            out.push_str(&format!("    \"{}\": {{\n", kind.label()));
+            out.push_str("      \"phases\": [\n");
+            let mut first = true;
+            for p in rec.phases() {
+                for op in OpKind::ALL {
+                    let s = p.delta.op(op);
+                    if s.count == 0 {
+                        continue;
+                    }
+                    if !first {
+                        out.push_str(",\n");
+                    }
+                    first = false;
+                    out.push_str(&format!(
+                        "        {{\"phase\": \"{}\", \"op\": \"{}\", \"count\": {}, \"items\": {}, \"mean_ns\": {}, \"p50_ns\": {}, \"p99_ns\": {}, \"p999_ns\": {}}}",
+                        p.name,
+                        op.label(),
+                        s.count,
+                        s.items,
+                        s.mean_ns(),
+                        s.p50_ns(),
+                        s.p99_ns(),
+                        s.p999_ns()
+                    ));
+                    row(&[
+                        "metrics".into(),
+                        kind.label().into(),
+                        p.name.clone(),
+                        op.label().into(),
+                        s.count.to_string(),
+                        s.p50_ns().to_string(),
+                        s.p99_ns().to_string(),
+                        s.p999_ns().to_string(),
+                    ]);
+                }
+            }
+            out.push_str("\n      ],\n");
+            out.push_str(&format!("      \"rowex\": {rowex_json},\n"));
+            out.push_str(&format!("      \"structure\": {}\n", structure_json(&structure)));
+            out.push_str(&format!(
+                "    }}{}\n",
+                if di + 1 < DatasetKind::ALL.len() { "," } else { "" }
+            ));
+            eprintln!(
+                "# metrics {}: concurrent restart_rate={restart_rate:.4}",
+                kind.label()
+            );
+        }
+
+        out.push_str("  }\n}\n");
+        if let Err(e) = std::fs::create_dir_all("results")
+            .and_then(|()| std::fs::write("results/BENCH_metrics.json", &out))
+        {
+            eprintln!("# could not write results/BENCH_metrics.json: {e}");
+        } else {
+            eprintln!("# wrote results/BENCH_metrics.json");
+        }
+    }
+
+    /// Load / C / batched-C / E on a fresh single-threaded `HotIndex`,
+    /// diffed into per-phase deltas; returns the recorder and the final
+    /// structural gauges.
+    fn single_thread_phases(
+        config: &Config,
+        data: &BenchData,
+        e_run: &WorkloadRun,
+    ) -> (PhaseRecorder, Option<StructuralSnapshot>) {
+        let mut index = HotIndex::new(Arc::clone(&data.arena));
+        let mut rec = PhaseRecorder::new();
+
+        rec.begin(index.trie().metrics_ops_snapshot());
+        run_load(&mut index, data, config.keys);
+        rec.finish("load", index.trie().metrics_ops_snapshot());
+
+        let c_run = WorkloadRun::new(
+            Workload::C,
+            RequestDistribution::Uniform,
+            config.keys,
+            config.ops,
+            config.seed,
+        );
+        rec.begin(index.trie().metrics_ops_snapshot());
+        run_transactions(&mut index, data, &c_run);
+        rec.finish("run:C", index.trie().metrics_ops_snapshot());
+
+        rec.begin(index.trie().metrics_ops_snapshot());
+        run_transactions_batched(&mut index, data, &c_run, config.batch);
+        rec.finish("run:C_batch", index.trie().metrics_ops_snapshot());
+
+        rec.begin(index.trie().metrics_ops_snapshot());
+        run_transactions(&mut index, data, e_run);
+        rec.finish("run:E", index.trie().metrics_ops_snapshot());
+
+        let structure = index.trie().metrics_snapshot().structure;
+        (rec, structure)
+    }
+
+    /// Striped concurrent load plus a 90/10 read/upsert mix on the widest
+    /// `--threads` budget; returns the ROWEX counter object as JSON and
+    /// the restart rate.
+    fn concurrent_pass(config: &Config, data: &BenchData) -> (String, f64) {
+        let threads = config.threads.iter().copied().max().unwrap_or(1);
+        let trie = Arc::new(ConcurrentHot::new(Arc::clone(&data.arena)));
+        let n = config.keys;
+
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let trie = Arc::clone(&trie);
+                scope.spawn(move || {
+                    let mut i = t;
+                    while i < n {
+                        trie.insert(&data.dataset.keys[i], data.tids[i]);
+                        i += threads;
+                    }
+                });
+            }
+        });
+
+        let per_thread = (config.ops / threads).max(1);
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let trie = Arc::clone(&trie);
+                let seed = config.seed ^ ((t as u64) << 32);
+                scope.spawn(move || {
+                    let mut rng = StdRng::seed_from_u64(seed);
+                    let mut buf = PaddedKey::new();
+                    let mut checksum = 0u64;
+                    for _ in 0..per_thread {
+                        let idx = rng.gen_range(0..n);
+                        if rng.gen_range(0..10) == 0 {
+                            // Upsert: re-inserting an existing key still walks
+                            // the full analyze→lock→validate write path.
+                            trie.insert(&data.dataset.keys[idx], data.tids[idx]);
+                        } else if let Some(tid) = trie.get_with(&data.dataset.keys[idx], &mut buf) {
+                            checksum = checksum.wrapping_add(tid);
+                        }
+                    }
+                    std::hint::black_box(checksum);
+                });
+            }
+        });
+
+        let snap = trie.metrics_ops_snapshot();
+        let rate = snap.rowex.restart_rate(snap.write_ops());
+        let json = format!(
+            "{{\"threads\": {}, \"lock_failures\": {}, \"restarts\": {}, \"obsolete_seen\": {}, \"epoch_pins\": {}, \"deferred_queued\": {}, \"deferred_freed\": {}, \"deferred_depth\": {}, \"restart_rate\": {:.6}}}",
+            threads,
+            snap.rowex.get(RowexCounter::LockFail),
+            snap.rowex.get(RowexCounter::Restart),
+            snap.rowex.get(RowexCounter::ObsoleteSeen),
+            snap.rowex.get(RowexCounter::EpochPin),
+            snap.rowex.get(RowexCounter::DeferredQueued),
+            snap.rowex.get(RowexCounter::DeferredFreed),
+            snap.rowex.deferred_depth(),
+            rate
+        );
+        (json, rate)
+    }
+
+    /// Structural gauges as a JSON object (`null` if the walk was skipped).
+    fn structure_json(structure: &Option<StructuralSnapshot>) -> String {
+        let Some(s) = structure else {
+            return "null".into();
+        };
+        let census: Vec<String> = s.layout_census.iter().map(|n| n.to_string()).collect();
+        format!(
+            "{{\"nodes\": {}, \"leaves\": {}, \"entries\": {}, \"height\": {}, \"avg_fill\": {:.2}, \"layout_census\": [{}]}}",
+            s.nodes,
+            s.leaves,
+            s.entries,
+            s.height,
+            s.avg_fill(),
+            census.join(", ")
+        )
     }
 }

@@ -58,7 +58,19 @@ pub struct InvariantReport {
     /// `k = 32` — the bulk loader packs maximal nodes, so its fill should
     /// never trail the incremental build's.
     pub entries: usize,
+    /// Live nodes per physical layout, indexed by `NodeTag as usize`
+    /// (Single8 = 0 … Multi32x32 = 8): the observable footprint of the
+    /// paper's two adaptivity dimensions.
+    pub layout_census: [usize; 9],
+    /// Leaf count per depth (compound nodes on the root-to-leaf path),
+    /// clamped to the final slot. Depth 0 counts a single-leaf root.
+    pub leaf_depths: [usize; MAX_DEPTH_SLOTS],
 }
+
+/// Number of tracked leaf-depth buckets in [`InvariantReport::leaf_depths`]
+/// (deeper leaves are clamped into the last slot — a height beyond this
+/// would itself be an invariant violation for any realistic key count).
+pub const MAX_DEPTH_SLOTS: usize = 16;
 
 impl InvariantReport {
     /// Average entries per compound node (0.0 for leafless tries); the
@@ -101,6 +113,7 @@ impl<S: KeySource> Walker<'_, S> {
             self.prev_key = Some(key.to_vec());
             self.leaf_tids.push(tid);
             self.report.leaves += 1;
+            self.report.leaf_depths[depth.min(MAX_DEPTH_SLOTS - 1)] += 1;
             return Ok(0);
         }
         let raw = r.as_raw();
@@ -136,6 +149,7 @@ impl<S: KeySource> Walker<'_, S> {
         }
         self.report.nodes += 1;
         self.report.entries += n;
+        self.report.layout_census[raw.tag as usize] += 1;
         let mut max_child = 0usize;
         for i in 0..n {
             let ch = self.walk(raw.value(i), depth + 1)?;
@@ -182,6 +196,8 @@ where
             height: 0,
             height_slack: 0,
             entries: 0,
+            layout_census: [0; 9],
+            leaf_depths: [0; MAX_DEPTH_SLOTS],
         },
         leaf_tids: Vec::with_capacity(expected_len),
     };

@@ -44,11 +44,17 @@ pub mod batch;
 pub mod bulk;
 pub mod invariants;
 pub mod map;
+pub(crate) mod metrics;
 pub mod node;
 pub mod scan;
 pub mod sync;
 pub mod sync_shim;
 pub mod trie;
+
+/// Re-export of the observability crate backing
+/// [`HotTrie::metrics_snapshot`] (only with the `metrics` feature).
+#[cfg(feature = "metrics")]
+pub use hot_metrics;
 
 pub use batch::{BatchCursor, DEFAULT_GROUP};
 pub use bulk::BulkLoadError;

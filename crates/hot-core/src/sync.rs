@@ -39,6 +39,7 @@ use std::sync::Arc;
 use crossbeam_epoch as epoch;
 
 use crate::bulk::BulkLoadError;
+use crate::metrics::{Metrics, OpKind, RowexCounter};
 use crate::node::builder::{true_height, Builder};
 use crate::node::{MemCounter, NodeRef, RawNode, MAX_FANOUT};
 use hot_keys::stats::MemoryStats;
@@ -131,6 +132,9 @@ pub struct ConcurrentHot<S> {
     source: S,
     len: AtomicUsize,
     mem: Arc<MemCounter>,
+    /// Operation + ROWEX-health metrics recorder — zero-sized no-op unless
+    /// the `metrics` feature is enabled (see [`crate::metrics`]).
+    metrics: Metrics,
 }
 
 /// What the descent found and what the write operation will do.
@@ -163,6 +167,7 @@ impl<S: KeySource> ConcurrentHot<S> {
             source,
             len: AtomicUsize::new(0),
             mem: Arc::new(MemCounter::default()),
+            metrics: Metrics::new(),
         }
     }
 
@@ -213,6 +218,7 @@ impl<S: KeySource> ConcurrentHot<S> {
         if !self.load_root().is_null() {
             return Err(BulkLoadError::NotEmpty);
         }
+        let _t = self.metrics.timer(OpKind::BulkLoad);
         let prepared = crate::bulk::prepare(entries)?;
         let n = prepared.tids.len();
         let root = match n {
@@ -230,6 +236,7 @@ impl<S: KeySource> ConcurrentHot<S> {
         {
             Ok(_) => {
                 self.len.store(n, Ordering::Relaxed);
+                self.metrics.items(OpKind::BulkLoad, n as u64);
                 Ok(n)
             }
             Err(_) => {
@@ -252,6 +259,8 @@ impl<S: KeySource> ConcurrentHot<S> {
 
     /// Wait-free lookup (Listing 2): no locks, no restarts.
     pub fn get(&self, key: &[u8]) -> Option<u64> {
+        let _t = self.metrics.timer(OpKind::Get);
+        self.metrics.incr(RowexCounter::EpochPin);
         let padded = PaddedKey::from_key(key);
         self.get_padded(&padded)
     }
@@ -260,6 +269,8 @@ impl<S: KeySource> ConcurrentHot<S> {
     /// (avoids re-zeroing a fresh 264-byte buffer per call in tight loops),
     /// mirroring [`HotTrie::get_with`](crate::HotTrie::get_with).
     pub fn get_with(&self, key: &[u8], buf: &mut PaddedKey) -> Option<u64> {
+        let _t = self.metrics.timer(OpKind::Get);
+        self.metrics.incr(RowexCounter::EpochPin);
         buf.set(key);
         self.get_padded(buf)
     }
@@ -314,6 +325,9 @@ impl<S: KeySource> ConcurrentHot<S> {
         cursor: &mut crate::batch::BatchCursor,
     ) {
         assert_eq!(keys.len(), out.len(), "one output slot per key");
+        let _t = self.metrics.timer(OpKind::GetBatch);
+        self.metrics.items(OpKind::GetBatch, keys.len() as u64);
+        self.metrics.incr(RowexCounter::EpochPin);
         let _guard = epoch::pin();
         let group = cursor.group();
         for (kc, oc) in keys.chunks(group).zip(out.chunks_mut(group)) {
@@ -364,9 +378,12 @@ impl<S: KeySource> ConcurrentHot<S> {
         out: &mut Vec<u64>,
         cursor: &mut crate::scan::ScanCursor,
     ) {
+        let _t = self.metrics.timer(OpKind::Scan);
+        self.metrics.incr(RowexCounter::EpochPin);
         out.clear();
         let _guard = epoch::pin();
         cursor.scan_root(self.load_root(), &self.source, key, limit, out);
+        self.metrics.items(OpKind::Scan, out.len() as u64);
     }
 
     /// Service many scan requests `(start key, limit)` under a **single**
@@ -399,6 +416,8 @@ impl<S: KeySource> ConcurrentHot<S> {
         bounds: &mut Vec<usize>,
         cursor: &mut crate::scan::ScanBatchCursor,
     ) {
+        let _t = self.metrics.timer(OpKind::ScanBatch);
+        self.metrics.incr(RowexCounter::EpochPin);
         tids.clear();
         bounds.clear();
         bounds.push(0);
@@ -408,6 +427,7 @@ impl<S: KeySource> ConcurrentHot<S> {
             // stale root while writers replace it underneath.
             cursor.run_group(self.load_root(), &self.source, chunk, tids, bounds);
         }
+        self.metrics.items(OpKind::ScanBatch, tids.len() as u64);
     }
 
     /// Insert `key → tid` (upsert); returns the previous TID if present.
@@ -417,13 +437,16 @@ impl<S: KeySource> ConcurrentHot<S> {
     /// [`MAX_KEY_LEN`](hot_keys::MAX_KEY_LEN) bytes.
     pub fn insert(&self, key: &[u8], tid: u64) -> Option<u64> {
         assert!(tid <= MAX_TID, "tid exceeds MAX_TID");
+        let _t = self.metrics.timer(OpKind::Insert);
         let padded = PaddedKey::from_key(key);
         let mut backoff = 0u32;
         loop {
+            self.metrics.incr(RowexCounter::EpochPin);
             let guard = epoch::pin();
             match self.try_insert(&padded, tid, &guard) {
                 Ok(old) => return old,
                 Err(()) => {
+                    self.metrics.incr(RowexCounter::Restart);
                     backoff_spin(&mut backoff);
                 }
             }
@@ -496,11 +519,14 @@ impl<S: KeySource> ConcurrentHot<S> {
         // Determine the affected levels (nodes whose content or slots are
         // written) and lock them bottom-up.
         let affected = affected_levels(&plan);
-        let locked = lock_levels(&plan.stack, &affected)?;
+        let locked = lock_levels(&plan.stack, &affected).map_err(|()| {
+            self.metrics.incr(RowexCounter::LockFail);
+        })?;
         let result = (|| {
             // Validate: no locked node may be obsolete (step c).
             for &node in &locked {
                 if is_obsolete(node.as_raw()) {
+                    self.metrics.incr(RowexCounter::ObsoleteSeen);
                     return Err(());
                 }
             }
@@ -776,9 +802,11 @@ impl<S: KeySource> ConcurrentHot<S> {
     /// Mark a replaced node obsolete and defer its reclamation to the epoch.
     fn retire(&self, node: RawNode, guard: &epoch::Guard) {
         mark_obsolete(node);
+        self.metrics.incr(RowexCounter::DeferredQueued);
         let base = node.base as u64;
         let tag = node.tag;
         let mem = Arc::clone(&self.mem);
+        let metrics = self.metrics.handle();
         // SAFETY: the node is obsolete and unreachable from the (new)
         // structure; the epoch guarantees no pinned reader still holds it
         // when the deferred function runs.
@@ -789,19 +817,25 @@ impl<S: KeySource> ConcurrentHot<S> {
                     tag,
                 }
                 .free(&mem);
+                metrics.incr(RowexCounter::DeferredFreed);
             });
         }
     }
 
     /// Remove `key`; returns its TID if present.
     pub fn remove(&self, key: &[u8]) -> Option<u64> {
+        let _t = self.metrics.timer(OpKind::Remove);
         let padded = PaddedKey::from_key(key);
         let mut backoff = 0u32;
         loop {
+            self.metrics.incr(RowexCounter::EpochPin);
             let guard = epoch::pin();
             match self.try_remove(&padded, &guard) {
                 Ok(result) => return result,
-                Err(()) => backoff_spin(&mut backoff),
+                Err(()) => {
+                    self.metrics.incr(RowexCounter::Restart);
+                    backoff_spin(&mut backoff);
+                }
             }
         }
     }
@@ -870,6 +904,7 @@ impl<S: KeySource> ConcurrentHot<S> {
         for &l in &lock_order {
             let raw = stack[l].0.as_raw();
             if !try_lock(raw) {
+                self.metrics.incr(RowexCounter::LockFail);
                 for &n in locked.iter().rev() {
                     unlock(n.as_raw());
                 }
@@ -880,6 +915,7 @@ impl<S: KeySource> ConcurrentHot<S> {
         let result = (|| {
             for &n in &locked {
                 if is_obsolete(n.as_raw()) {
+                    self.metrics.incr(RowexCounter::ObsoleteSeen);
                     return Err(());
                 }
             }
@@ -974,7 +1010,11 @@ impl<S: KeySource> ConcurrentHot<S> {
     /// The index must be quiesced: concurrent writers would trip the
     /// lock-word and leaf-count checks spuriously.
     pub fn try_check_invariants(&self) -> Result<crate::InvariantReport, String> {
-        crate::invariants::check_tree(self.load_root(), &self.source, self.len(), |k| self.get(k))
+        // Re-lookups go through the uninstrumented internal path so the
+        // walk never inflates the `get` / epoch-pin counters.
+        crate::invariants::check_tree(self.load_root(), &self.source, self.len(), |k| {
+            self.get_padded(&PaddedKey::from_key(k))
+        })
     }
 
     /// Panicking wrapper over [`Self::try_check_invariants`]. Test-support.
@@ -983,6 +1023,34 @@ impl<S: KeySource> ConcurrentHot<S> {
             Ok(report) => report,
             Err(msg) => panic!("ConcurrentHot invariant violation: {msg}"),
         }
+    }
+
+    /// Point-in-time metrics snapshot (DESIGN.md §13): merged operation
+    /// counters, latency histograms and ROWEX health counters (lock
+    /// failures, restarts, obsolete-marker encounters, epoch pins,
+    /// deferred-free queue depth), plus structural gauges sampled from a
+    /// full invariant walk. The counters are captured *before* the walk,
+    /// and the walk uses the uninstrumented lookup path, so sampling never
+    /// perturbs the stats. The structural gauges require a quiesced index
+    /// (like [`Self::try_check_invariants`]); when the walk fails — e.g.
+    /// concurrent writers are active — `structure` is left `None` and the
+    /// counter half is still exact. Only available with the `metrics`
+    /// feature.
+    #[cfg(feature = "metrics")]
+    pub fn metrics_snapshot(&self) -> hot_metrics::MetricsSnapshot {
+        let mut snap = self.metrics.0.ops_snapshot();
+        if let Ok(report) = self.try_check_invariants() {
+            snap.structure = Some(crate::metrics::structural_snapshot(&report));
+        }
+        snap
+    }
+
+    /// The counter/histogram half of [`Self::metrics_snapshot`] without
+    /// the structural walk — safe and cheap to call while writers are
+    /// active (`structure` is `None`). Only with the `metrics` feature.
+    #[cfg(feature = "metrics")]
+    pub fn metrics_ops_snapshot(&self) -> hot_metrics::MetricsSnapshot {
+        self.metrics.0.ops_snapshot()
     }
 }
 

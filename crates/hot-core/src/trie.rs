@@ -1,6 +1,7 @@
 //! The single-threaded Height Optimized Trie (Sections 3 and 4).
 
 use crate::bulk::BulkLoadError;
+use crate::metrics::{Metrics, OpKind};
 use crate::node::builder::Builder;
 use crate::node::{MemCounter, NodeRef, MAX_FANOUT};
 use hot_keys::stats::MemoryStats;
@@ -26,6 +27,9 @@ pub struct HotTrie<S> {
     key_buf: Option<Box<PaddedKey>>,
     /// Reused decode buffer for the copy-on-write insert path.
     scratch: Option<Builder>,
+    /// Operation metrics recorder — zero-sized no-op unless the `metrics`
+    /// feature is enabled (see [`crate::metrics`]).
+    metrics: Metrics,
 }
 
 /// Disable the fused insert fast path (differential-testing support: the
@@ -50,6 +54,7 @@ impl<S: KeySource> HotTrie<S> {
             stack: Vec::with_capacity(16),
             key_buf: Some(Box::new(PaddedKey::new())),
             scratch: None,
+            metrics: Metrics::new(),
         }
     }
 
@@ -83,6 +88,7 @@ impl<S: KeySource> HotTrie<S> {
     /// Wait-free: performs one descent plus one full-key verification
     /// (Listing 2 of the paper).
     pub fn get(&self, key: &[u8]) -> Option<u64> {
+        let _t = self.metrics.timer(OpKind::Get);
         let padded = PaddedKey::from_key(key);
         self.get_padded(&padded)
     }
@@ -90,6 +96,7 @@ impl<S: KeySource> HotTrie<S> {
     /// Like [`get`](Self::get) with a caller-provided padded-key buffer
     /// (avoids re-zeroing in tight loops).
     pub fn get_with(&self, key: &[u8], buf: &mut PaddedKey) -> Option<u64> {
+        let _t = self.metrics.timer(OpKind::Get);
         buf.set(key);
         self.get_padded(buf)
     }
@@ -146,6 +153,8 @@ impl<S: KeySource> HotTrie<S> {
         cursor: &mut crate::batch::BatchCursor,
     ) {
         assert_eq!(keys.len(), out.len(), "one output slot per key");
+        let _t = self.metrics.timer(OpKind::GetBatch);
+        self.metrics.items(OpKind::GetBatch, keys.len() as u64);
         let group = cursor.group();
         for (kc, oc) in keys.chunks(group).zip(out.chunks_mut(group)) {
             cursor.run_group(self.root, &self.source, kc, oc);
@@ -165,6 +174,7 @@ impl<S: KeySource> HotTrie<S> {
     /// [`MAX_KEY_LEN`](hot_keys::MAX_KEY_LEN) bytes.
     pub fn insert(&mut self, key: &[u8], tid: u64) -> Option<u64> {
         assert!(tid <= MAX_TID, "tid exceeds MAX_TID");
+        let _t = self.metrics.timer(OpKind::Insert);
         let mut key_buf = self.key_buf.take().unwrap_or_default();
         key_buf.set(key);
         let result = self.insert_padded(&key_buf, tid);
@@ -405,6 +415,7 @@ impl<S: KeySource> HotTrie<S> {
         if !self.root.is_null() {
             return Err(BulkLoadError::NotEmpty);
         }
+        let _t = self.metrics.timer(OpKind::BulkLoad);
         let prepared = crate::bulk::prepare(entries)?;
         let n = prepared.tids.len();
         self.root = match n {
@@ -413,6 +424,7 @@ impl<S: KeySource> HotTrie<S> {
             _ => crate::bulk::build_parallel(&prepared.tids, &prepared.bounds, &self.mem, threads),
         };
         self.len = n;
+        self.metrics.items(OpKind::BulkLoad, n as u64);
         Ok(n)
     }
 
@@ -423,6 +435,7 @@ impl<S: KeySource> HotTrie<S> {
     /// parent slot (the counterpart of leaf-node pushdown / intermediate
     /// node creation).
     pub fn remove(&mut self, key: &[u8]) -> Option<u64> {
+        let _t = self.metrics.timer(OpKind::Remove);
         let mut key_buf = self.key_buf.take().unwrap_or_default();
         key_buf.set(key);
         let result = self.remove_padded(&key_buf);
@@ -613,8 +626,10 @@ impl<S: KeySource> HotTrie<S> {
         out: &mut Vec<u64>,
         cursor: &mut crate::scan::ScanCursor,
     ) {
+        let _t = self.metrics.timer(OpKind::Scan);
         out.clear();
         cursor.scan_root(self.root, &self.source, key, limit, out);
+        self.metrics.items(OpKind::Scan, out.len() as u64);
     }
 
     /// Service many scan requests `(start key, limit)` in one call: request
@@ -646,12 +661,14 @@ impl<S: KeySource> HotTrie<S> {
         bounds: &mut Vec<usize>,
         cursor: &mut crate::scan::ScanBatchCursor,
     ) {
+        let _t = self.metrics.timer(OpKind::ScanBatch);
         tids.clear();
         bounds.clear();
         bounds.push(0);
         for chunk in requests.chunks(cursor.group()) {
             cursor.run_group(self.root, &self.source, chunk, tids, bounds);
         }
+        self.metrics.items(OpKind::ScanBatch, tids.len() as u64);
     }
 
     /// Iterator over TIDs with `start <= key < end`, in ascending key order
@@ -701,7 +718,36 @@ impl<S: KeySource> HotTrie<S> {
     /// leaf count, and full re-lookup of every stored key. Returns summary
     /// statistics or a description of the first violation.
     pub fn try_check_invariants(&self) -> Result<crate::InvariantReport, String> {
-        crate::invariants::check_tree(self.root, &self.source, self.len, |k| self.get(k))
+        // Re-lookups go through the uninstrumented internal path so the
+        // walk never inflates the `get` operation counters.
+        crate::invariants::check_tree(self.root, &self.source, self.len, |k| {
+            self.get_padded(&PaddedKey::from_key(k))
+        })
+    }
+
+    /// Point-in-time metrics snapshot (DESIGN.md §13): merged operation
+    /// counters and latency histograms, plus structural gauges (layout
+    /// census, leaf-depth distribution, fill factor) sampled from a full
+    /// invariant walk. The operation counters are captured *before* the
+    /// structural walk, and the walk re-looks keys up through the
+    /// uninstrumented internal path, so sampling never perturbs the
+    /// operation stats. Only available with the `metrics` feature.
+    #[cfg(feature = "metrics")]
+    pub fn metrics_snapshot(&self) -> hot_metrics::MetricsSnapshot {
+        let mut snap = self.metrics.0.ops_snapshot();
+        if let Ok(report) = self.try_check_invariants() {
+            snap.structure = Some(crate::metrics::structural_snapshot(&report));
+        }
+        snap
+    }
+
+    /// The counter/histogram half of [`Self::metrics_snapshot`] without
+    /// the structural walk — cheap enough to call at workload-phase
+    /// boundaries (`structure` is `None`). Only with the `metrics`
+    /// feature.
+    #[cfg(feature = "metrics")]
+    pub fn metrics_ops_snapshot(&self) -> hot_metrics::MetricsSnapshot {
+        self.metrics.0.ops_snapshot()
     }
 
     /// Panicking wrapper over [`Self::try_check_invariants`]. Test-support.

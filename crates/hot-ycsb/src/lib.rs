@@ -23,6 +23,8 @@
 #![deny(missing_docs)]
 
 pub mod dataset;
+#[cfg(feature = "metrics")]
+pub mod phase;
 pub mod workload;
 pub mod zipf;
 
