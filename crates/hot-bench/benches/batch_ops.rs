@@ -1,7 +1,8 @@
 //! Criterion micro-benchmark for the memory-level-parallel batched lookup
 //! path: HOT's `get_batch` swept over descent group sizes G ∈ {1, 2, 4, 8,
-//! 16, 32} against the scalar `get` loop, on the integer, email and url
-//! data sets.
+//! 16, 32} against the scalar `get` loop, plus the completion-driven
+//! out-of-order scheduler swept over in-flight depths N ∈ {4, 8, 16, 32,
+//! 64}, on the integer, email and url data sets.
 //!
 //! Each iteration resolves one chunk of 1024 shuffled probe keys, so every
 //! reported time divides evenly into per-lookup cost. `batched_g1` isolates
@@ -14,7 +15,7 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 use hot_bench::{BenchData, HotIndex};
-use hot_core::BatchCursor;
+use hot_core::{BatchCursor, MlpScheduler};
 use hot_ycsb::{Dataset, DatasetKind};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -75,6 +76,26 @@ fn bench_batched_lookups(c: &mut Criterion) {
                     offset = (offset + CHUNK) % wrap;
                     hot.trie()
                         .get_batch_with(&probes[offset..offset + CHUNK], &mut out, &mut cursor);
+                    let mut sum = 0u64;
+                    for tid in out.iter().flatten() {
+                        sum = sum.wrapping_add(*tid);
+                    }
+                    black_box(sum)
+                })
+            });
+        }
+
+        // Out-of-order scheduler, the DEPTH_SWEEP candidates the adaptive
+        // controller chooses between at run time.
+        for depth in hot_core::DEPTH_SWEEP {
+            let mut sched = MlpScheduler::with_depth(depth);
+            let mut out: Vec<Option<u64>> = vec![None; CHUNK];
+            let mut offset = 0usize;
+            group.bench_function(format!("ooo_n{depth}"), |b| {
+                b.iter(|| {
+                    offset = (offset + CHUNK) % wrap;
+                    hot.trie()
+                        .get_batch_ooo(&probes[offset..offset + CHUNK], &mut out, &mut sched);
                     let mut sum = 0u64;
                     for tid in out.iter().flatten() {
                         sum = sum.wrapping_add(*tid);

@@ -1,8 +1,9 @@
 //! Criterion micro-benchmark for the range-scan fast path: the allocating
 //! `range_from` iterator (the pre-cursor baseline), the cursor-amortized
-//! `scan_with` path, and the single-group pipelined `scan_batch_with` path,
-//! swept over scan lengths L ∈ {1, 10, 100} on the integer and url data
-//! sets.
+//! `scan_with` path, the single-group pipelined `scan_batch_with` path, and
+//! the completion-driven out-of-order `scan_batch_ooo` path swept over
+//! in-flight depths N ∈ {4, 8, 16, 32, 64}, all over scan lengths
+//! L ∈ {1, 10, 100} on the integer and url data sets.
 //!
 //! Each iteration runs one chunk of 256 scans from shuffled start keys, so
 //! reported times divide evenly into per-scan cost. `alloc` pays a `Vec`
@@ -15,7 +16,7 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 use hot_bench::{BenchData, HotIndex};
-use hot_core::{ScanBatchCursor, ScanCursor};
+use hot_core::{MlpScheduler, ScanBatchCursor, ScanCursor};
 use hot_ycsb::{Dataset, DatasetKind};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -93,6 +94,26 @@ fn bench_scan_paths(c: &mut Criterion) {
                     black_box(tids.len())
                 })
             });
+
+            // Out-of-order seek descents: the scheduler's reorder buffer
+            // keeps the output request-ordered, so results stay comparable
+            // with the lane-cursor path above.
+            for depth in hot_core::DEPTH_SWEEP {
+                let mut sched = MlpScheduler::with_depth(depth);
+                let mut tids: Vec<u64> = Vec::new();
+                let mut bounds: Vec<usize> = Vec::new();
+                let mut requests: Vec<(&[u8], usize)> = Vec::new();
+                let mut offset = 0usize;
+                group.bench_function(format!("ooo_n{depth}"), |b| {
+                    b.iter(|| {
+                        offset = (offset + CHUNK) % wrap;
+                        requests.clear();
+                        requests.extend(starts[offset..offset + CHUNK].iter().map(|&k| (k, len)));
+                        hot.trie().scan_batch_ooo(&requests, &mut tids, &mut bounds, &mut sched);
+                        black_box(tids.len())
+                    })
+                });
+            }
             group.finish();
         }
     }

@@ -35,7 +35,7 @@ use hot_bench::{mops, row, BenchData, Config};
 #[cfg(feature = "metrics")]
 use hot_core::hot_metrics::RowexCounter;
 use hot_core::sync::ConcurrentHot;
-use hot_core::BatchCursor;
+use hot_core::{BatchCursor, MlpScheduler};
 use hot_keys::PaddedKey;
 use hot_ycsb::{Dataset, DatasetKind};
 use rand::rngs::StdRng;
@@ -73,14 +73,16 @@ fn main() {
     let mut insert_base = None;
     let mut lookup_base = None;
     let mut batch_base = None;
+    let mut ooo_base = None;
     let mut bulk_base = None;
     let mut metrics_rows: Vec<(usize, String)> = Vec::new();
     for &threads in &config.threads {
-        let (insert_mops, lookup_mops, batch_mops, rowex) =
+        let (insert_mops, lookup_mops, batch_mops, ooo_mops, rowex) =
             run_with_threads(&data, threads, &config);
         let ib = *insert_base.get_or_insert(insert_mops);
         let lb = *lookup_base.get_or_insert(lookup_mops);
         let bb = *batch_base.get_or_insert(batch_mops);
+        let ob = *ooo_base.get_or_insert(ooo_mops);
         row(&[
             "insert".into(),
             threads.to_string(),
@@ -98,6 +100,12 @@ fn main() {
             threads.to_string(),
             format!("{batch_mops:.3}"),
             format!("{:.2}", batch_mops / bb),
+        ]);
+        row(&[
+            "lookup_ooo".into(),
+            threads.to_string(),
+            format!("{ooo_mops:.3}"),
+            format!("{:.2}", ooo_mops / ob),
         ]);
         if let Some((rate, json)) = rowex {
             row(&[
@@ -164,14 +172,14 @@ fn run_bulk_with_threads(data: &BenchData, keys: &[&[u8]], tids: &[u64], threads
     mops(n, elapsed)
 }
 
-/// Insert / lookup / batched-lookup phases at one thread count. The fourth
-/// element is `Some((restart_rate, rowex_json))` only under `--metrics`
-/// with the `metrics` feature compiled in.
+/// Insert / lookup / batched-lookup / out-of-order-lookup phases at one
+/// thread count. The last element is `Some((restart_rate, rowex_json))`
+/// only under `--metrics` with the `metrics` feature compiled in.
 fn run_with_threads(
     data: &BenchData,
     threads: usize,
     config: &Config,
-) -> (f64, f64, f64, Option<(f64, String)>) {
+) -> (f64, f64, f64, f64, Option<(f64, String)>) {
     let trie = Arc::new(ConcurrentHot::new(Arc::clone(&data.arena)));
     let keys = Arc::new(data.dataset.keys.clone());
     let tids = Arc::new(data.tids.clone());
@@ -252,6 +260,38 @@ fn run_with_threads(
     });
     let batch_mops = mops(groups * batch * threads, start.elapsed().as_secs_f64());
 
+    // Out-of-order lookup phase: the same uniform stream through the
+    // completion-driven scheduler — per-thread lane ring, one epoch pin per
+    // window, per-refill root reload. The window is a few multiples of the
+    // deepest ring so refills, not window edges, set occupancy.
+    let window = batch.max(4 * hot_core::MAX_DEPTH);
+    let ooo_groups = per_thread / window;
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let trie = Arc::clone(&trie);
+            let keys = Arc::clone(&keys);
+            let seed = config.seed ^ (t as u64) << 32;
+            scope.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let mut sched = MlpScheduler::new();
+                let mut probe: Vec<&[u8]> = Vec::with_capacity(window);
+                let mut out: Vec<Option<u64>> = vec![None; window];
+                let mut checksum = 0u64;
+                for _ in 0..ooo_groups {
+                    probe.clear();
+                    probe.extend((0..window).map(|_| keys[rng.gen_range(0..n)].as_slice()));
+                    trie.get_batch_ooo(&probe, &mut out, &mut sched);
+                    for tid in out.iter().flatten() {
+                        checksum = checksum.wrapping_add(*tid);
+                    }
+                }
+                std::hint::black_box(checksum);
+            });
+        }
+    });
+    let ooo_mops = mops(ooo_groups * window * threads, start.elapsed().as_secs_f64());
+
     // ROWEX health counters, read after (never inside) the timed phases.
     #[cfg(feature = "metrics")]
     let rowex = config.metrics.then(|| {
@@ -273,5 +313,5 @@ fn run_with_threads(
     #[cfg(not(feature = "metrics"))]
     let rowex: Option<(f64, String)> = None;
 
-    (insert_mops, lookup_mops, batch_mops, rowex)
+    (insert_mops, lookup_mops, batch_mops, ooo_mops, rowex)
 }

@@ -1,0 +1,110 @@
+//! Diagnostic harness: round-robin vs out-of-order lookup throughput on
+//! one data set, sweeping the in-flight depth — so scheduler regressions
+//! can be bisected in seconds instead of a full fig8 run.
+//!
+//! ```text
+//! cargo run --release -p hot-bench --bin ooo_probe -- url 1000000 2000000
+//! ```
+//!
+//! Prints one `row\tmops` line for the round-robin group-of-8 baseline
+//! and for each depth in [`hot_core::DEPTH_SWEEP`], asserting every
+//! variant resolves the same TID checksum.
+
+use std::time::Instant;
+
+use hot_bench::{BenchData, HotIndex};
+use hot_core::{BatchCursor, MlpScheduler};
+use hot_ycsb::{Dataset, DatasetKind};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let kind_arg = args.next().unwrap_or_else(|| "url".to_string());
+    let keys_n: usize = args
+        .next()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1_000_000);
+    let ops: usize = args
+        .next()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2_000_000);
+    let kind = DatasetKind::ALL
+        .into_iter()
+        .find(|k| k.label() == kind_arg)
+        .expect("dataset: url | email | yago | integer");
+
+    let data = BenchData::new(Dataset::generate(kind, keys_n, 42));
+    let mut index = HotIndex::new(std::sync::Arc::clone(&data.arena));
+    let mut entries: Vec<(&[u8], u64)> = data
+        .dataset
+        .keys
+        .iter()
+        .map(Vec::as_slice)
+        .zip(data.tids.iter().copied())
+        .collect();
+    entries.sort_unstable_by(|a, b| a.0.cmp(b.0));
+    let (keys, tids): (Vec<&[u8]>, Vec<u64>) = entries.into_iter().unzip();
+    hot_bench::BenchIndex::bulk_load(&mut index, &keys, &tids, 1);
+    let trie = index.trie();
+
+    // Uniform probe stream (xorshift64), same length as fig8's workload C.
+    let mut state = 0x9e37_79b9_7f4a_7c15_u64;
+    let probes: Vec<&[u8]> = (0..ops)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            data.dataset.keys[(state % keys_n as u64) as usize].as_slice()
+        })
+        .collect();
+
+    let mut out: Vec<Option<u64>> = vec![None; 256];
+    let mops = |n: usize, secs: f64| n as f64 / secs / 1e6;
+
+    let mut sum = 0u64;
+    let mut cursor = BatchCursor::new();
+    let start = Instant::now();
+    for window in probes.chunks(8) {
+        trie.get_batch_with(window, &mut out[..window.len()], &mut cursor);
+        for tid in out[..window.len()].iter().flatten() {
+            sum = sum.wrapping_add(*tid);
+        }
+    }
+    println!(
+        "round_robin_g8\t{:.3}",
+        mops(probes.len(), start.elapsed().as_secs_f64())
+    );
+
+    // Degenerate configuration: window == depth == 8 makes the scheduler
+    // structurally equivalent to one round-robin group per window (fill 8,
+    // sweep, drain, no refill) — isolates per-visit cost from scheduling
+    // policy when compared against the row above.
+    for window_len in [8usize, 16, 32, 64, 128, 256] {
+        let mut sched = MlpScheduler::with_depth(8);
+        let mut osum = 0u64;
+        let start = Instant::now();
+        for window in probes.chunks(window_len) {
+            trie.get_batch_ooo(window, &mut out[..window.len()], &mut sched);
+            for tid in out[..window.len()].iter().flatten() {
+                osum = osum.wrapping_add(*tid);
+            }
+        }
+        let secs = start.elapsed().as_secs_f64();
+        assert_eq!(sum, osum, "ooo w{window_len} checksum mismatch");
+        println!("ooo_w{window_len}_n8\t{:.3}", mops(probes.len(), secs));
+    }
+
+    for depth in hot_core::DEPTH_SWEEP {
+        let mut sched = MlpScheduler::with_depth(depth);
+        let mut osum = 0u64;
+        let start = Instant::now();
+        for window in probes.chunks(256) {
+            trie.get_batch_ooo(window, &mut out[..window.len()], &mut sched);
+            for tid in out[..window.len()].iter().flatten() {
+                osum = osum.wrapping_add(*tid);
+            }
+        }
+        let secs = start.elapsed().as_secs_f64();
+        assert_eq!(sum, osum, "ooo checksum mismatch at depth {depth}");
+        println!("ooo_n{depth}\t{:.3}", mops(probes.len(), secs));
+    }
+}

@@ -35,6 +35,32 @@ use hot_keys::{KeySource, PaddedKey, KEY_SCRATCH_LEN};
 /// Default descent group size (number of lookups kept in flight).
 pub const DEFAULT_GROUP: usize = 8;
 
+/// Split `len` requests into contiguous runs for round-robin groups of at
+/// most `group` items: `ceil(len / group)` runs whose sizes differ by at
+/// most one.
+///
+/// Plain `chunks(group)` leaves the trailing remainder nearly empty
+/// (`len % group` lanes in flight, the rest idle); balancing instead
+/// shrinks *every* group slightly — e.g. 33 requests at G = 8 run as
+/// 7/7/7/6/6 rather than 8/8/8/8/1 — so the final group keeps pipelining
+/// at close to full depth. Results are unaffected: runs stay contiguous
+/// and in order.
+pub(crate) fn balanced_chunks(
+    len: usize,
+    group: usize,
+) -> impl Iterator<Item = std::ops::Range<usize>> {
+    let runs = len.div_ceil(group);
+    let base = len.checked_div(runs).unwrap_or(0);
+    let extra = len.checked_rem(runs).unwrap_or(0);
+    let mut start = 0;
+    (0..runs).map(move |run| {
+        let size = base + usize::from(run < extra);
+        let range = start..start + size;
+        start += size;
+        range
+    })
+}
+
 /// Number of cache lines prefetched per upcoming node — matches the
 /// point-lookup path (Section 4.5: header + partial keys + values).
 const PREFETCH_LINES: usize = 4;
@@ -228,5 +254,27 @@ mod tests {
     #[should_panic(expected = "group size")]
     fn zero_group_rejected() {
         BatchCursor::with_group(0);
+    }
+
+    #[test]
+    fn balanced_chunks_cover_len_and_never_exceed_group() {
+        for len in 0..200usize {
+            for group in 1..20usize {
+                let mut covered = 0;
+                let mut min_size = usize::MAX;
+                let mut max_size = 0;
+                for range in super::balanced_chunks(len, group) {
+                    assert_eq!(range.start, covered, "contiguous");
+                    covered = range.end;
+                    min_size = min_size.min(range.len());
+                    max_size = max_size.max(range.len());
+                }
+                assert_eq!(covered, len, "covers every request");
+                if len > 0 {
+                    assert!(max_size <= group, "len={len} group={group}");
+                    assert!(max_size - min_size <= 1, "balanced: len={len} group={group}");
+                }
+            }
+        }
     }
 }

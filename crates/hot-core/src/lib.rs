@@ -45,6 +45,7 @@ pub mod bulk;
 pub mod invariants;
 pub mod map;
 pub(crate) mod metrics;
+pub mod mlp;
 pub mod node;
 pub mod scan;
 pub mod sync;
@@ -60,6 +61,7 @@ pub use batch::{BatchCursor, DEFAULT_GROUP};
 pub use bulk::BulkLoadError;
 pub use invariants::InvariantReport;
 pub use map::HotMap;
+pub use mlp::{BatchRequest, MlpScheduler, DEFAULT_DEPTH, DEPTH_SWEEP, MAX_DEPTH};
 pub use node::{MemCounter, NodeRef, NodeTag, MAX_FANOUT};
 pub use scan::{ScanBatchCursor, ScanCursor};
 pub use trie::HotTrie;

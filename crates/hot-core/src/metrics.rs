@@ -27,6 +27,8 @@ pub(crate) use disabled::Metrics;
 pub(crate) use hot_metrics::OpKind;
 #[cfg(feature = "metrics")]
 pub(crate) use hot_metrics::RowexCounter;
+#[cfg(feature = "metrics")]
+pub(crate) use hot_metrics::SchedCounter;
 
 /// Operation kinds (no-op flavour).
 #[cfg(not(feature = "metrics"))]
@@ -47,6 +49,8 @@ pub(crate) enum OpKind {
     ScanBatch,
     /// Sorted bulk load.
     BulkLoad,
+    /// Batched removals (probe descents + applies).
+    RemoveBatch,
 }
 
 /// ROWEX health counters (no-op flavour).
@@ -66,6 +70,23 @@ pub(crate) enum RowexCounter {
     DeferredQueued,
     /// Deferred free executed.
     DeferredFreed,
+}
+
+/// MLP scheduler health counters (no-op flavour).
+#[cfg(not(feature = "metrics"))]
+#[derive(Debug, Clone, Copy)]
+#[allow(dead_code, reason = "mirror of hot_metrics::SchedCounter; variants are named at call sites")]
+pub(crate) enum SchedCounter {
+    /// Lane loaded with a pending request.
+    Refill,
+    /// Lookup descent completed.
+    LookupDone,
+    /// Scan-seek descent completed.
+    ScanSeekDone,
+    /// Remove-probe descent completed.
+    ProbeDone,
+    /// Re-descent after a torn-slot observation.
+    Redescent,
 }
 
 /// Convert an invariant-walk report into the structural gauges a
@@ -128,6 +149,18 @@ mod enabled {
             self.0.incr(c);
         }
 
+        /// Increment an MLP scheduler health counter.
+        #[inline]
+        pub(crate) fn sched(&self, c: super::SchedCounter) {
+            self.0.incr_sched(c);
+        }
+
+        /// Record one lane-occupancy sample.
+        #[inline]
+        pub(crate) fn occupancy(&self, busy: usize) {
+            self.0.record_occupancy(busy);
+        }
+
         /// An owned handle to move into a deferred closure (clones the
         /// `Arc`; the no-op flavour just copies the ZST).
         #[inline]
@@ -162,6 +195,12 @@ mod disabled {
 
         #[inline(always)]
         pub(crate) fn incr(&self, _c: super::RowexCounter) {}
+
+        #[inline(always)]
+        pub(crate) fn sched(&self, _c: super::SchedCounter) {}
+
+        #[inline(always)]
+        pub(crate) fn occupancy(&self, _busy: usize) {}
 
         #[inline(always)]
         pub(crate) fn handle(&self) -> Metrics {

@@ -1,0 +1,728 @@
+//! Completion-driven out-of-order MLP scheduler (DESIGN.md §14).
+//!
+//! The round-robin cursors in [`crate::batch`] and [`crate::scan`] overlap
+//! the cache misses of G independent descents, but they are *synchronous*:
+//! every lane advances exactly once per round, so one slow lane (a deep URL
+//! descent, a re-descent on the concurrent index) stalls the whole group,
+//! and a group only refills once **all** G descents finished. The Cuckoo
+//! Trie observation applies: the memory system rewards keeping N misses in
+//! flight *continuously*, not in lock-step convoys.
+//!
+//! [`MlpScheduler`] fixes both pathologies. It owns a ring of up to N lane
+//! state machines — point lookups, range-scan seeks and remove probes run
+//! as one [`DescentKind`] through the same ring — and sweeps the ring,
+//! advancing each in-flight descent by one node per visit with the next
+//! hop prefetched. The moment a lane *completes* (its result is written,
+//! its scan drained), it is refilled from the pending-request queue in
+//! place, without waiting for the rest of the ring: in-flight depth stays
+//! at N until the queue runs dry, regardless of per-key depth variance,
+//! and mixed get/scan/probe streams interleave in one pipeline.
+//!
+//! Completion order is data-dependent; *results are not*. Lookup results
+//! land at their request's slot, and scan drains are staged in a scratch
+//! vector and emitted in request order afterwards, so every entry point is
+//! byte-identical to the scalar and round-robin paths (the
+//! `ooo_differential` test asserts checksums across all three).
+//!
+//! The in-flight depth N defaults to [`DEFAULT_DEPTH`], can be forced with
+//! `HOT_MLP_DEPTH`, and can be chosen by the adaptive controller
+//! ([`tune_depth`]) which sweeps [`DEPTH_SWEEP`] at startup; with the
+//! `metrics` feature the lane-occupancy histogram shows whether the chosen
+//! depth is actually sustained (mean occupancy ≈ N until the tail).
+
+use crate::metrics::{Metrics, SchedCounter};
+use crate::node::NodeRef;
+use crate::scan::{drain_frames, position_frames};
+use hot_keys::{KeySource, PaddedKey, KEY_SCRATCH_LEN};
+use std::sync::OnceLock;
+
+/// Default in-flight depth (compile-time default of the adaptive
+/// controller). Deeper than the round-robin G = 8: completion-driven
+/// refill keeps all lanes useful, so the limit is the line-fill-buffer
+/// budget plus the L2 MLP the prefetcher adds, not the convoy barrier.
+pub const DEFAULT_DEPTH: usize = 16;
+
+/// Largest supported in-flight depth (matches
+/// `hot_metrics::MAX_OCCUPANCY`, so the occupancy histogram resolves every
+/// legal depth exactly).
+pub const MAX_DEPTH: usize = 64;
+
+/// Depths the adaptive controller sweeps at startup.
+pub const DEPTH_SWEEP: [usize; 5] = [4, 8, 16, 32, 64];
+
+/// Cache lines prefetched per upcoming node (Section 4.5: header + partial
+/// keys + values) — identical to the round-robin paths.
+const PREFETCH_LINES: usize = 4;
+
+/// Cache lines prefetched per pending request's key bytes ahead of a
+/// refill (two lines cover a ≤ 64-byte key at any alignment; longer keys
+/// still get their critical first lines started).
+const KEY_PREFETCH_LINES: usize = 2;
+
+/// Re-descents allowed per request after torn-slot (null) observations on
+/// the concurrent index before the descent completes as a miss, which is
+/// the same "not present" answer the scalar reader gives.
+const MAX_REDESCENTS: u32 = 3;
+
+/// What kind of descent occupies a lane (the `Descent` enum of DESIGN.md
+/// §14, flattened into per-lane state).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum DescentKind {
+    /// Point lookup: the verified TID (or `None`) goes to `out[slot]`.
+    Lookup,
+    /// Range-scan seek: the recorded path seeds an in-order drain of up to
+    /// `limit` TIDs.
+    ScanSeek,
+    /// Existence probe ahead of a removal: same verification as a lookup,
+    /// and the descent warms the path the subsequent structural removal
+    /// re-walks.
+    RemoveProbe,
+}
+
+/// Lane stage within a descent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Stage {
+    /// Chasing compound nodes root-to-leaf.
+    Descend,
+    /// Terminal word reached and the tuple's key record prefetched last
+    /// visit; the full-key verification (or scan positioning + drain) runs
+    /// this visit, with the other lanes' misses having overlapped it.
+    Finish,
+}
+
+/// One request as the scheduler consumes it: key bytes, descent kind, and
+/// the scan limit (ignored for lookups/probes).
+///
+/// Implemented over the caller's natural containers so no per-call request
+/// vector is materialized.
+pub(crate) trait RequestStream {
+    /// Number of requests.
+    fn len(&self) -> usize;
+    /// The `i`-th request.
+    fn fetch(&self, i: usize) -> (&[u8], DescentKind, usize);
+}
+
+/// `&[K]` as a stream of lookups.
+pub(crate) struct LookupStream<'a, K>(pub &'a [K]);
+
+impl<K: AsRef<[u8]>> RequestStream for LookupStream<'_, K> {
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+    fn fetch(&self, i: usize) -> (&[u8], DescentKind, usize) {
+        (self.0[i].as_ref(), DescentKind::Lookup, 0)
+    }
+}
+
+/// `&[K]` as a stream of remove probes.
+pub(crate) struct ProbeStream<'a, K>(pub &'a [K]);
+
+impl<K: AsRef<[u8]>> RequestStream for ProbeStream<'_, K> {
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+    fn fetch(&self, i: usize) -> (&[u8], DescentKind, usize) {
+        (self.0[i].as_ref(), DescentKind::RemoveProbe, 0)
+    }
+}
+
+/// `&[(K, usize)]` as a stream of scan seeks.
+pub(crate) struct ScanStream<'a, K>(pub &'a [(K, usize)]);
+
+impl<K: AsRef<[u8]>> RequestStream for ScanStream<'_, K> {
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+    fn fetch(&self, i: usize) -> (&[u8], DescentKind, usize) {
+        let (key, limit) = &self.0[i];
+        (key.as_ref(), DescentKind::ScanSeek, *limit)
+    }
+}
+
+/// One request of a mixed batched stream (gets and scans interleaved in
+/// stream order), the shape YCSB's coalesced operation batches take.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchRequest<'a> {
+    /// Point lookup; its result lands at this request's slot in `out`.
+    Get(&'a [u8]),
+    /// Range scan `(start key, limit)`; its TIDs land in the flat TID
+    /// vector with one bounds entry per scan request, in stream order.
+    Scan(&'a [u8], usize),
+}
+
+impl RequestStream for [BatchRequest<'_>] {
+    fn len(&self) -> usize {
+        <[BatchRequest<'_>]>::len(self)
+    }
+    fn fetch(&self, i: usize) -> (&[u8], DescentKind, usize) {
+        match self[i] {
+            BatchRequest::Get(key) => (key, DescentKind::Lookup, 0),
+            BatchRequest::Scan(key, limit) => (key, DescentKind::ScanSeek, limit),
+        }
+    }
+}
+
+/// One in-flight descent.
+struct Lane {
+    /// Padded search key.
+    key: PaddedKey,
+    /// Current word: node while descending, leaf/null once terminal.
+    cur: NodeRef,
+    /// Descent kind.
+    kind: DescentKind,
+    /// Stage within the descent.
+    stage: Stage,
+    /// Request index this lane is servicing.
+    req: usize,
+    /// Scan limit (scan-seek lanes only).
+    limit: usize,
+    /// Re-descents consumed (torn-slot recovery on the concurrent index).
+    attempts: u32,
+    /// Recorded descent path (scan-seek lanes only).
+    path: Vec<(NodeRef, usize)>,
+    /// In-order frame stack for the drain (scan-seek lanes only; reused).
+    frames: Vec<(NodeRef, usize)>,
+}
+
+impl Lane {
+    fn new() -> Lane {
+        Lane {
+            key: PaddedKey::new(),
+            cur: NodeRef::NULL,
+            kind: DescentKind::Lookup,
+            stage: Stage::Descend,
+            req: 0,
+            limit: 0,
+            attempts: 0,
+            path: Vec::new(),
+            frames: Vec::new(),
+        }
+    }
+}
+
+static FORCE_ROUND_ROBIN: OnceLock<bool> = OnceLock::new();
+
+/// Whether `HOT_FORCE_ROUND_ROBIN` (any non-empty value) pins the
+/// convenience batch entry points to the fixed round-robin cursors —
+/// the comparison baseline for the out-of-order scheduler. Cached
+/// process-wide like `HOT_FORCE_SCALAR`.
+pub fn force_round_robin() -> bool {
+    *FORCE_ROUND_ROBIN.get_or_init(|| {
+        std::env::var_os("HOT_FORCE_ROUND_ROBIN").is_some_and(|v| !v.is_empty())
+    })
+}
+
+static ENV_DEPTH: OnceLock<Option<usize>> = OnceLock::new();
+
+/// `HOT_MLP_DEPTH` override (clamped to `1..=MAX_DEPTH`), cached
+/// process-wide.
+fn env_depth() -> Option<usize> {
+    *ENV_DEPTH.get_or_init(|| {
+        std::env::var("HOT_MLP_DEPTH")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .map(|n| n.clamp(1, MAX_DEPTH))
+    })
+}
+
+/// Adaptive in-flight-depth controller: run `measure(depth)` over the
+/// candidate depths of [`DEPTH_SWEEP`] (each measured twice, best kept)
+/// and return the fastest. An explicit `HOT_MLP_DEPTH` wins without
+/// sweeping. With the `metrics` feature, the lane-occupancy histogram
+/// recorded during the sweep shows how full each candidate actually ran.
+pub fn tune_depth<F>(mut measure: F) -> usize
+where
+    F: FnMut(usize) -> std::time::Duration,
+{
+    if let Some(depth) = env_depth() {
+        return depth;
+    }
+    let mut best = (std::time::Duration::MAX, DEFAULT_DEPTH);
+    for &depth in &DEPTH_SWEEP {
+        let t = measure(depth).min(measure(depth));
+        if t < best.0 {
+            best = (t, depth);
+        }
+    }
+    best.1
+}
+
+/// Reusable completion-driven out-of-order descent scheduler.
+///
+/// One scheduler owns N lane state machines plus the scan staging buffers;
+/// reusing it across batches amortizes every allocation, exactly like the
+/// round-robin cursors. The convenience entry points
+/// ([`get_batch`](crate::HotTrie::get_batch) and friends) create one per
+/// call.
+pub struct MlpScheduler {
+    depth: usize,
+    lanes: Vec<Lane>,
+    /// Ring of occupied lane indices, compacted in place per sweep.
+    active: Vec<usize>,
+    /// Scan drains staged in completion order; emitted in request order.
+    scratch_tids: Vec<u64>,
+    /// Per-request `(begin, end)` span into `scratch_tids` (scan requests
+    /// only; lookups leave their slot untouched).
+    spans: Vec<(usize, usize)>,
+}
+
+impl Default for MlpScheduler {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MlpScheduler {
+    /// Scheduler with the environment-selected depth (`HOT_MLP_DEPTH`,
+    /// else [`DEFAULT_DEPTH`]).
+    pub fn new() -> Self {
+        Self::with_depth(env_depth().unwrap_or(DEFAULT_DEPTH))
+    }
+
+    /// Scheduler keeping up to `depth` descents in flight
+    /// (`1..=`[`MAX_DEPTH`]).
+    ///
+    /// Lane buffers are allocated lazily on first use.
+    pub fn with_depth(depth: usize) -> Self {
+        assert!(
+            (1..=MAX_DEPTH).contains(&depth),
+            "in-flight depth must be in 1..={MAX_DEPTH}"
+        );
+        MlpScheduler {
+            depth,
+            lanes: Vec::new(),
+            active: Vec::new(),
+            scratch_tids: Vec::new(),
+            spans: Vec::new(),
+        }
+    }
+
+    /// The configured in-flight depth N.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Change the in-flight depth (the adaptive controller uses this to
+    /// apply a tuned value to an existing scheduler).
+    pub fn set_depth(&mut self, depth: usize) {
+        assert!(
+            (1..=MAX_DEPTH).contains(&depth),
+            "in-flight depth must be in 1..={MAX_DEPTH}"
+        );
+        self.depth = depth;
+    }
+
+    /// Drain `reqs` through the ring.
+    ///
+    /// * Lookup/probe results are written to `out[i]` for request `i`
+    ///   (`out` must have one slot per request whenever the stream
+    ///   contains lookups or probes).
+    /// * Scan results are appended flat to `tids`, with one end offset
+    ///   pushed to `bounds` per scan request in request order (the caller
+    ///   seeds `bounds` with the starting offset, matching `scan_batch`).
+    /// * `reload_root` is called once per lane load and once per
+    ///   re-descent — the per-refill root reload that keeps a long batch
+    ///   on the concurrent index from pinning one stale root.
+    /// * `redescend` enables torn-slot recovery (concurrent index only;
+    ///   the single-threaded trie never publishes null slots).
+    #[allow(clippy::too_many_arguments)] // internal plumbing shared by four adapters
+    pub(crate) fn run<S, Q, F>(
+        &mut self,
+        source: &S,
+        reqs: &Q,
+        out: &mut [Option<u64>],
+        tids: &mut Vec<u64>,
+        bounds: &mut Vec<usize>,
+        mut reload_root: F,
+        redescend: bool,
+        metrics: &Metrics,
+    ) where
+        S: KeySource,
+        Q: RequestStream + ?Sized,
+        F: FnMut() -> NodeRef,
+    {
+        let n = reqs.len();
+        if n == 0 {
+            return;
+        }
+        self.scratch_tids.clear();
+        self.spans.clear();
+        self.spans.resize(n, (0, 0));
+        while self.lanes.len() < self.depth.min(n) {
+            self.lanes.push(Lane::new());
+        }
+        self.active.clear();
+        // Split borrows up front so the sweep loop can hold a lane `&mut`
+        // while touching the active ring and the scan staging buffers.
+        let MlpScheduler {
+            depth,
+            lanes,
+            active,
+            scratch_tids,
+            spans,
+        } = self;
+        let depth = *depth;
+
+        // Fill: load the first min(N, n) requests, one per lane. The
+        // request keys live at stream-dependent addresses (for a random
+        // probe stream, random lines of the key arena), so their reads are
+        // misses too — start them all before the copies so they overlap
+        // exactly like the round-robin load phase's back-to-back copies.
+        for i in 0..depth.min(n) {
+            let (key, _, _) = reqs.fetch(i);
+            hot_bits::prefetch_node(key.as_ptr(), KEY_PREFETCH_LINES);
+        }
+        let mut next_req = 0;
+        let mut scans = 0usize;
+        while next_req < n && active.len() < depth {
+            let lane = active.len();
+            scans += usize::from(stage_request(
+                &mut lanes[lane],
+                next_req,
+                reqs,
+                reload_root(),
+                source,
+                metrics,
+            ));
+            active.push(lane);
+            next_req += 1;
+        }
+
+        // Sweep: advance every occupied lane one step per round. A lane
+        // that completes refills from the pending queue *immediately* —
+        // the ring never idles a lane while requests remain, so in-flight
+        // depth stays at N until the tail.
+        //
+        // The Descend hop is inlined here rather than behind a per-lane
+        // function call: at trie heights of ~6–10 the call overhead alone
+        // costs double-digit percent against the round-robin cursor, whose
+        // sweep loop this mirrors hop for hop.
+        let mut live = active.len();
+        // Lanes currently in the Finish stage: lane `finishing` of them
+        // will complete before the pending request at `next_req +
+        // finishing` is staged, so that is the request whose key bytes a
+        // newly terminal lane prefetches. Without this, every refill's key
+        // copy is a *solo* arena miss in the middle of a sweep — the one
+        // stall the round-robin cursor never takes (its load phase issues
+        // all G key reads back to back).
+        let mut finishing = 0usize;
+        while live > 0 {
+            metrics.occupancy(live);
+            let mut kept = 0;
+            for slot in 0..live {
+                let lane = active[slot];
+                let l = &mut lanes[lane];
+                if l.stage == Stage::Descend {
+                    let raw = l.cur.as_raw();
+                    let (idx, next) = raw.find_candidate(l.key.padded());
+                    if l.kind == DescentKind::ScanSeek {
+                        l.path.push((l.cur, idx));
+                    }
+                    l.cur = next;
+                    if next.is_node() {
+                        // The next hop's memory starts loading now; it is
+                        // needed only after every other live lane has
+                        // moved.
+                        hot_bits::prefetch_node(next.as_raw().base, PREFETCH_LINES);
+                    } else if next.is_leaf() {
+                        // Terminal: start the tuple key record's miss and
+                        // run the verification (or drain) on the next
+                        // visit, and start the miss on the key bytes of
+                        // the pending request this completion will refill
+                        // with.
+                        source.prefetch_key(next.tid());
+                        let peek = next_req + finishing;
+                        if peek < n {
+                            let (key, _, _) = reqs.fetch(peek);
+                            hot_bits::prefetch_node(key.as_ptr(), KEY_PREFETCH_LINES);
+                        }
+                        finishing += 1;
+                        l.stage = Stage::Finish;
+                    } else {
+                        // Null mid-descent: only the concurrent index
+                        // publishes these (a slot observed mid-update).
+                        // Re-descend from a fresh root a bounded number of
+                        // times, then fall through to the same "not
+                        // present" answer the scalar reader gives.
+                        if redescend && l.attempts < MAX_REDESCENTS {
+                            l.attempts += 1;
+                            l.path.clear();
+                            let root = reload_root();
+                            l.cur = root;
+                            metrics.sched(SchedCounter::Redescent);
+                            if root.is_node() {
+                                hot_bits::prefetch_node(root.as_raw().base, PREFETCH_LINES);
+                            } else {
+                                if root.is_leaf() {
+                                    source.prefetch_key(root.tid());
+                                }
+                                finishing += 1;
+                                l.stage = Stage::Finish;
+                            }
+                        } else {
+                            finishing += 1;
+                            l.stage = Stage::Finish;
+                        }
+                    }
+                    active[kept] = lane;
+                    kept += 1;
+                    continue;
+                }
+                // Finish stage: the lane's tuple line has had a full sweep
+                // to arrive; complete the request and refill in place.
+                finish_lane(l, source, out, scratch_tids, spans, metrics);
+                // Saturating: lanes staged straight to Finish (single-leaf
+                // or empty root) never incremented the counter.
+                finishing = finishing.saturating_sub(1);
+                if next_req < n {
+                    // Completion-driven refill.
+                    scans += usize::from(stage_request(
+                        l,
+                        next_req,
+                        reqs,
+                        reload_root(),
+                        source,
+                        metrics,
+                    ));
+                    next_req += 1;
+                    active[kept] = lane;
+                    kept += 1;
+                }
+            }
+            live = kept;
+        }
+
+        // Emit scan results in request order: completion order shuffled
+        // the staging vector, the spans restore the request view. Pure
+        // lookup/probe windows (`scans == 0`) skip the re-fetch pass.
+        if scans > 0 {
+            for i in 0..n {
+                let (_, kind, _) = reqs.fetch(i);
+                if kind == DescentKind::ScanSeek {
+                    let (begin, end) = spans[i];
+                    tids.extend_from_slice(&scratch_tids[begin..end]);
+                    bounds.push(tids.len());
+                }
+            }
+        }
+    }
+}
+
+/// Stage request `req` into lane `l`: set the key, point the lane at a
+/// freshly loaded root, and start the root's prefetch. Returns `true` when
+/// the staged request is a scan seek (the caller skips the request-order
+/// emit pass for scan-free windows).
+fn stage_request<S, Q>(
+    l: &mut Lane,
+    req: usize,
+    reqs: &Q,
+    root: NodeRef,
+    source: &S,
+    metrics: &Metrics,
+) -> bool
+where
+    S: KeySource,
+    Q: RequestStream + ?Sized,
+{
+    let (key, kind, limit) = reqs.fetch(req);
+    l.key.set(key);
+    l.cur = root;
+    l.kind = kind;
+    l.req = req;
+    l.limit = limit;
+    l.attempts = 0;
+    l.path.clear();
+    metrics.sched(SchedCounter::Refill);
+    if root.is_node() {
+        l.stage = Stage::Descend;
+        hot_bits::prefetch_node(root.as_raw().base, PREFETCH_LINES);
+    } else {
+        // Single-leaf or empty tree: the descent is already terminal;
+        // overlap the tuple load (if any) with the other lanes and finish
+        // on the next visit.
+        l.stage = Stage::Finish;
+        if root.is_leaf() {
+            source.prefetch_key(root.tid());
+        }
+    }
+    kind == DescentKind::ScanSeek
+}
+
+/// Complete lane `l`'s request: verify a lookup/probe TID into `out`, or
+/// position + drain a scan seek into the staging vector. Cold relative to
+/// the per-hop sweep — one call per *request*, not per node.
+fn finish_lane<S>(
+    l: &mut Lane,
+    source: &S,
+    out: &mut [Option<u64>],
+    scratch_tids: &mut Vec<u64>,
+    spans: &mut [(usize, usize)],
+    metrics: &Metrics,
+) where
+    S: KeySource,
+{
+    let req = l.req;
+    match l.kind {
+        DescentKind::Lookup | DescentKind::RemoveProbe => {
+            out[req] = if l.cur.is_leaf() {
+                let tid = l.cur.tid();
+                let mut scratch = [0u8; KEY_SCRATCH_LEN];
+                let stored = source.load_key(tid, &mut scratch);
+                hot_bits::first_mismatch_bit(stored, l.key.bytes())
+                    .is_none()
+                    .then_some(tid)
+            } else {
+                None
+            };
+            metrics.sched(match l.kind {
+                DescentKind::Lookup => SchedCounter::LookupDone,
+                _ => SchedCounter::ProbeDone,
+            });
+        }
+        DescentKind::ScanSeek => {
+            let begin = scratch_tids.len();
+            if l.limit > 0 {
+                if l.path.is_empty() {
+                    // Root was a leaf or null when loaded — same cases
+                    // `scan_root` handles before seeking.
+                    if l.cur.is_leaf() {
+                        let mut scratch = [0u8; KEY_SCRATCH_LEN];
+                        if source.load_key(l.cur.tid(), &mut scratch) >= l.key.bytes() {
+                            scratch_tids.push(l.cur.tid());
+                        }
+                    }
+                } else {
+                    let limit = begin.saturating_add(l.limit);
+                    position_frames(source, &l.key, &l.path, l.cur, &mut l.frames, scratch_tids);
+                    drain_frames(&mut l.frames, limit, scratch_tids);
+                }
+            }
+            spans[req] = (begin, scratch_tids.len());
+            metrics.sched(SchedCounter::ScanSeekDone);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::HotTrie;
+    use hot_keys::{encode_u64, EmbeddedKeySource};
+
+    fn build(n: u64) -> HotTrie<EmbeddedKeySource> {
+        let mut t = HotTrie::new(EmbeddedKeySource);
+        for v in 0..n {
+            t.insert(&encode_u64(v * 3), v * 3);
+        }
+        t
+    }
+
+    #[test]
+    fn ooo_matches_scalar_on_hits_and_misses() {
+        let t = build(10_000);
+        let keys: Vec<[u8; 8]> = (0..1_000).map(encode_u64).collect();
+        for depth in [1, 2, 5, 16, 64] {
+            let mut sched = MlpScheduler::with_depth(depth);
+            let mut out = vec![None; keys.len()];
+            t.get_batch_ooo(&keys, &mut out, &mut sched);
+            for (k, got) in keys.iter().zip(&out) {
+                assert_eq!(*got, t.get(k), "depth {depth}");
+            }
+        }
+    }
+
+    #[test]
+    fn ooo_scan_matches_scalar() {
+        let t = build(4_000);
+        let requests: Vec<([u8; 8], usize)> = (0..64u64)
+            .map(|i| (encode_u64(i * 191), (i % 13) as usize))
+            .collect();
+        let mut sched = MlpScheduler::with_depth(7);
+        let (mut tids, mut bounds) = (Vec::new(), Vec::new());
+        t.scan_batch_ooo(&requests, &mut tids, &mut bounds, &mut sched);
+        assert_eq!(bounds.len(), requests.len() + 1);
+        for (i, (key, limit)) in requests.iter().enumerate() {
+            assert_eq!(
+                &tids[bounds[i]..bounds[i + 1]],
+                t.scan(key, *limit).as_slice(),
+                "request {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_tree_single_leaf_and_empty_batch() {
+        let t: HotTrie<EmbeddedKeySource> = HotTrie::new(EmbeddedKeySource);
+        let mut sched = MlpScheduler::new();
+        let empty: [[u8; 8]; 0] = [];
+        let mut out: Vec<Option<u64>> = vec![];
+        t.get_batch_ooo(&empty, &mut out, &mut sched);
+
+        let keys = [encode_u64(1), encode_u64(2)];
+        let mut out = [Some(9), Some(9)];
+        t.get_batch_ooo(&keys, &mut out, &mut sched);
+        assert_eq!(out, [None, None]);
+
+        let mut t = HotTrie::new(EmbeddedKeySource);
+        t.insert(&encode_u64(7), 7);
+        let mut out = [None, None];
+        t.get_batch_ooo(&keys[..1], &mut out[..1], &mut sched);
+        let mut out2 = [None, None];
+        t.get_batch_ooo(&[encode_u64(7), encode_u64(8)], &mut out2, &mut sched);
+        assert_eq!(out2, [Some(7), None]);
+    }
+
+    #[test]
+    fn mixed_stream_interleaves_gets_and_scans() {
+        let t = build(3_000);
+        let keys: Vec<[u8; 8]> = (0..200u64).map(|i| encode_u64(i * 45)).collect();
+        let reqs: Vec<BatchRequest<'_>> = keys
+            .iter()
+            .enumerate()
+            .map(|(i, k)| {
+                if i % 3 == 0 {
+                    BatchRequest::Scan(k.as_ref(), i % 7)
+                } else {
+                    BatchRequest::Get(k.as_ref())
+                }
+            })
+            .collect();
+        let mut sched = MlpScheduler::with_depth(11);
+        let mut out = vec![None; reqs.len()];
+        let (mut tids, mut bounds) = (Vec::new(), Vec::new());
+        t.mixed_batch_ooo(&reqs, &mut out, &mut tids, &mut bounds, &mut sched);
+
+        let mut scan_idx = 0;
+        for (i, req) in reqs.iter().enumerate() {
+            match *req {
+                BatchRequest::Get(k) => assert_eq!(out[i], t.get(k), "get {i}"),
+                BatchRequest::Scan(k, limit) => {
+                    assert_eq!(
+                        &tids[bounds[scan_idx]..bounds[scan_idx + 1]],
+                        t.scan(k, limit).as_slice(),
+                        "scan {i}"
+                    );
+                    scan_idx += 1;
+                }
+            }
+        }
+        assert_eq!(bounds.len(), scan_idx + 1);
+    }
+
+    #[test]
+    fn tune_depth_returns_a_sweep_candidate() {
+        // Fake measurement: depth 32 "wins".
+        let chosen = tune_depth(|d| std::time::Duration::from_nanos(if d == 32 { 1 } else { 100 }));
+        // Either the env override or the fastest candidate.
+        if std::env::var_os("HOT_MLP_DEPTH").is_none() {
+            assert_eq!(chosen, 32);
+        }
+        assert!((1..=MAX_DEPTH).contains(&chosen));
+    }
+
+    #[test]
+    #[should_panic(expected = "in-flight depth")]
+    fn zero_depth_rejected() {
+        MlpScheduler::with_depth(0);
+    }
+}

@@ -132,7 +132,7 @@ impl ScanCursor {
 /// `leaf` is the descent's terminal word: a leaf, or null when a slot was
 /// observed mid-update on the concurrent index (treated as a mismatch above
 /// everything, which resumes the scan at a defined position).
-fn position_frames<S: KeySource>(
+pub(crate) fn position_frames<S: KeySource>(
     source: &S,
     key: &PaddedKey,
     path: &[(NodeRef, usize)],
@@ -183,7 +183,7 @@ fn position_frames<S: KeySource>(
 
 /// Drain an in-order frame stack until `out` holds `limit` TIDs or the
 /// frames are exhausted, prefetching one subtree ahead.
-fn drain_frames(frames: &mut Vec<(NodeRef, usize)>, limit: usize, out: &mut Vec<u64>) {
+pub(crate) fn drain_frames(frames: &mut Vec<(NodeRef, usize)>, limit: usize, out: &mut Vec<u64>) {
     while out.len() < limit {
         let Some(&(node, idx)) = frames.last() else {
             break;

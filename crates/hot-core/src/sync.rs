@@ -308,13 +308,19 @@ impl<S: KeySource> ConcurrentHot<S> {
     /// # Panics
     /// Panics if `keys` and `out` differ in length.
     pub fn get_batch<K: AsRef<[u8]>>(&self, keys: &[K], out: &mut [Option<u64>]) {
-        let mut cursor = crate::batch::BatchCursor::new();
-        self.get_batch_with(keys, out, &mut cursor);
+        if crate::mlp::force_round_robin() {
+            let mut cursor = crate::batch::BatchCursor::new();
+            self.get_batch_with(keys, out, &mut cursor);
+        } else {
+            let mut sched = crate::mlp::MlpScheduler::new();
+            self.get_batch_ooo(keys, out, &mut sched);
+        }
     }
 
     /// Like [`get_batch`](Self::get_batch) with a caller-provided
-    /// [`BatchCursor`](crate::BatchCursor), amortizing its buffers (and
-    /// fixing the group size) across many batches.
+    /// [`BatchCursor`](crate::BatchCursor): the fixed **round-robin**
+    /// pipeline, amortizing its buffers (and fixing the group size) across
+    /// many batches; trailing partial batches are balanced across groups.
     ///
     /// # Panics
     /// Panics if `keys` and `out` differ in length.
@@ -329,11 +335,118 @@ impl<S: KeySource> ConcurrentHot<S> {
         self.metrics.items(OpKind::GetBatch, keys.len() as u64);
         self.metrics.incr(RowexCounter::EpochPin);
         let _guard = epoch::pin();
-        let group = cursor.group();
-        for (kc, oc) in keys.chunks(group).zip(out.chunks_mut(group)) {
+        for r in crate::batch::balanced_chunks(keys.len(), cursor.group()) {
             // Reload the root per group: long batches must not pin one
             // stale root while writers replace it underneath.
-            cursor.run_group(self.load_root(), &self.source, kc, oc);
+            cursor.run_group(self.load_root(), &self.source, &keys[r.clone()], &mut out[r]);
+        }
+    }
+
+    /// Like [`get_batch`](Self::get_batch) with a caller-provided
+    /// [`MlpScheduler`](crate::MlpScheduler): the completion-driven
+    /// out-of-order pipeline under a **single** epoch pin. The root is
+    /// reloaded at every lane refill (finer-grained than the round-robin
+    /// path's per-group reload), so a long batch never pins one stale root;
+    /// a lane that observes a torn slot mid-descent re-descends from a
+    /// fresh root a bounded number of times before answering "not present"
+    /// exactly as scalar [`get`](Self::get) does.
+    ///
+    /// # Panics
+    /// Panics if `keys` and `out` differ in length.
+    pub fn get_batch_ooo<K: AsRef<[u8]>>(
+        &self,
+        keys: &[K],
+        out: &mut [Option<u64>],
+        sched: &mut crate::mlp::MlpScheduler,
+    ) {
+        assert_eq!(keys.len(), out.len(), "one output slot per key");
+        let _t = self.metrics.timer(OpKind::GetBatch);
+        self.metrics.items(OpKind::GetBatch, keys.len() as u64);
+        self.metrics.incr(RowexCounter::EpochPin);
+        let _guard = epoch::pin();
+        let (mut tids, mut bounds) = (Vec::new(), Vec::new());
+        sched.run(
+            &self.source,
+            &crate::mlp::LookupStream(keys),
+            out,
+            &mut tids,
+            &mut bounds,
+            || self.load_root(),
+            true,
+            &self.metrics,
+        );
+    }
+
+    /// Service a mixed stream of point lookups and range scans in one
+    /// out-of-order pipeline under a single epoch pin, mirroring
+    /// [`HotTrie::mixed_batch_ooo`](crate::HotTrie::mixed_batch_ooo):
+    /// `out[i]` answers `Get` request `i`; each `Scan` appends to `tids`
+    /// with one end offset pushed to `bounds` in stream order (both
+    /// cleared first, `bounds` seeded with 0). Records one `get_batch` and
+    /// one `scan_batch` metrics sample.
+    ///
+    /// # Panics
+    /// Panics if `reqs` and `out` differ in length.
+    pub fn mixed_batch_ooo(
+        &self,
+        reqs: &[crate::mlp::BatchRequest<'_>],
+        out: &mut [Option<u64>],
+        tids: &mut Vec<u64>,
+        bounds: &mut Vec<usize>,
+        sched: &mut crate::mlp::MlpScheduler,
+    ) {
+        assert_eq!(reqs.len(), out.len(), "one output slot per request");
+        let _tg = self.metrics.timer(OpKind::GetBatch);
+        let _ts = self.metrics.timer(OpKind::ScanBatch);
+        let gets = reqs
+            .iter()
+            .filter(|r| matches!(r, crate::mlp::BatchRequest::Get(_)))
+            .count();
+        self.metrics.items(OpKind::GetBatch, gets as u64);
+        self.metrics.incr(RowexCounter::EpochPin);
+        tids.clear();
+        bounds.clear();
+        bounds.push(0);
+        let _guard = epoch::pin();
+        sched.run(&self.source, reqs, out, tids, bounds, || self.load_root(), true, &self.metrics);
+        self.metrics.items(OpKind::ScanBatch, tids.len() as u64);
+    }
+
+    /// Remove `keys` as one batch, writing what [`remove`](Self::remove)
+    /// would have returned per key into `out`: the existence probes run as
+    /// remove-probe descents through the out-of-order scheduler under one
+    /// epoch pin (overlapping their misses and warming the paths), then
+    /// the structural removals apply per probed-present key through the
+    /// normal lock-then-validate write path.
+    ///
+    /// # Panics
+    /// Panics if `keys` and `out` differ in length.
+    pub fn remove_batch<K: AsRef<[u8]>>(&self, keys: &[K], out: &mut [Option<u64>]) {
+        assert_eq!(keys.len(), out.len(), "one output slot per key");
+        let _t = self.metrics.timer(OpKind::RemoveBatch);
+        self.metrics.items(OpKind::RemoveBatch, keys.len() as u64);
+        {
+            self.metrics.incr(RowexCounter::EpochPin);
+            let _guard = epoch::pin();
+            let (mut tids, mut bounds) = (Vec::new(), Vec::new());
+            let mut sched = crate::mlp::MlpScheduler::new();
+            sched.run(
+                &self.source,
+                &crate::mlp::ProbeStream(keys),
+                out,
+                &mut tids,
+                &mut bounds,
+                || self.load_root(),
+                true,
+                &self.metrics,
+            );
+        }
+        // Apply phase: the probe is a hint (a racing writer may beat us);
+        // `remove` re-descends and gives the authoritative answer.
+        for (key, slot) in keys.iter().zip(out.iter_mut()) {
+            if slot.is_some() {
+                *slot = self.remove(key.as_ref());
+            }
         }
     }
 
@@ -391,24 +504,32 @@ impl<S: KeySource> ConcurrentHot<S> {
     /// 1]]` (both vectors cleared first; `bounds` gets `requests.len() + 1`
     /// prefix offsets).
     ///
-    /// Seek descents proceed in software-pipelined groups exactly like
-    /// [`get_batch`](Self::get_batch), and like it the batch re-reads the
-    /// root per group, so long batches never pin one stale root; each
-    /// individual scan still observes an interleaving-consistent view, as
-    /// for scalar [`scan`](Self::scan).
+    /// Seek descents run through the completion-driven out-of-order
+    /// scheduler (see [`crate::mlp`]) with the root reloaded at every lane
+    /// refill, unless `HOT_FORCE_ROUND_ROBIN` pins this entry point to the
+    /// fixed round-robin cursor (per-group root reload); each individual
+    /// scan still observes an interleaving-consistent view, as for scalar
+    /// [`scan`](Self::scan).
     pub fn scan_batch<K: AsRef<[u8]>>(
         &self,
         requests: &[(K, usize)],
         tids: &mut Vec<u64>,
         bounds: &mut Vec<usize>,
     ) {
-        let mut cursor = crate::scan::ScanBatchCursor::new();
-        self.scan_batch_with(requests, tids, bounds, &mut cursor);
+        if crate::mlp::force_round_robin() {
+            let mut cursor = crate::scan::ScanBatchCursor::new();
+            self.scan_batch_with(requests, tids, bounds, &mut cursor);
+        } else {
+            let mut sched = crate::mlp::MlpScheduler::new();
+            self.scan_batch_ooo(requests, tids, bounds, &mut sched);
+        }
     }
 
     /// Like [`scan_batch`](Self::scan_batch) with a caller-provided
-    /// [`ScanBatchCursor`](crate::ScanBatchCursor), amortizing its lane
-    /// state (and fixing the group size) across many batches.
+    /// [`ScanBatchCursor`](crate::ScanBatchCursor): the fixed
+    /// **round-robin** pipeline, amortizing its lane state (and fixing the
+    /// group size) across many batches; trailing partial batches are
+    /// balanced across groups.
     pub fn scan_batch_with<K: AsRef<[u8]>>(
         &self,
         requests: &[(K, usize)],
@@ -422,11 +543,42 @@ impl<S: KeySource> ConcurrentHot<S> {
         bounds.clear();
         bounds.push(0);
         let _guard = epoch::pin();
-        for chunk in requests.chunks(cursor.group()) {
+        for r in crate::batch::balanced_chunks(requests.len(), cursor.group()) {
             // Reload the root per group: long batches must not pin one
             // stale root while writers replace it underneath.
-            cursor.run_group(self.load_root(), &self.source, chunk, tids, bounds);
+            cursor.run_group(self.load_root(), &self.source, &requests[r], tids, bounds);
         }
+        self.metrics.items(OpKind::ScanBatch, tids.len() as u64);
+    }
+
+    /// Like [`scan_batch`](Self::scan_batch) with a caller-provided
+    /// [`MlpScheduler`](crate::MlpScheduler): the completion-driven
+    /// out-of-order pipeline under a single epoch pin, with the root
+    /// reloaded at every lane refill and bounded torn-slot re-descents.
+    pub fn scan_batch_ooo<K: AsRef<[u8]>>(
+        &self,
+        requests: &[(K, usize)],
+        tids: &mut Vec<u64>,
+        bounds: &mut Vec<usize>,
+        sched: &mut crate::mlp::MlpScheduler,
+    ) {
+        let _t = self.metrics.timer(OpKind::ScanBatch);
+        self.metrics.incr(RowexCounter::EpochPin);
+        tids.clear();
+        bounds.clear();
+        bounds.push(0);
+        let _guard = epoch::pin();
+        let mut out: [Option<u64>; 0] = [];
+        sched.run(
+            &self.source,
+            &crate::mlp::ScanStream(requests),
+            &mut out,
+            tids,
+            bounds,
+            || self.load_root(),
+            true,
+            &self.metrics,
+        );
         self.metrics.items(OpKind::ScanBatch, tids.len() as u64);
     }
 

@@ -126,23 +126,32 @@ impl<S: KeySource> HotTrie<S> {
     /// `out` (`out[i]` answers `keys[i]`, exactly as [`get`](Self::get)
     /// would).
     ///
-    /// Descents proceed in software-pipelined groups of
-    /// [`DEFAULT_GROUP`](crate::DEFAULT_GROUP) with each lane's next node
-    /// prefetched while the other lanes advance, so the dependent cache
-    /// misses of up to G lookups overlap instead of serializing — see
-    /// [`crate::batch`]. Results are byte-for-byte identical to calling
-    /// `get` per key.
+    /// Descents run through the completion-driven out-of-order scheduler
+    /// ([`crate::mlp`]): up to N independent descents stay in flight, each
+    /// lane refilling from the pending keys the moment it completes, so
+    /// depth variance between keys never idles a lane. Set
+    /// `HOT_FORCE_ROUND_ROBIN` to pin this entry point to the fixed
+    /// round-robin cursor instead (the comparison baseline). Results are
+    /// byte-for-byte identical to calling `get` per key on either path.
     ///
     /// # Panics
     /// Panics if `keys` and `out` differ in length.
     pub fn get_batch<K: AsRef<[u8]>>(&self, keys: &[K], out: &mut [Option<u64>]) {
-        let mut cursor = crate::batch::BatchCursor::new();
-        self.get_batch_with(keys, out, &mut cursor);
+        if crate::mlp::force_round_robin() {
+            let mut cursor = crate::batch::BatchCursor::new();
+            self.get_batch_with(keys, out, &mut cursor);
+        } else {
+            let mut sched = crate::mlp::MlpScheduler::new();
+            self.get_batch_ooo(keys, out, &mut sched);
+        }
     }
 
     /// Like [`get_batch`](Self::get_batch) with a caller-provided
-    /// [`BatchCursor`](crate::BatchCursor), amortizing its buffers (and
-    /// fixing the group size) across many batches.
+    /// [`BatchCursor`](crate::BatchCursor): the fixed **round-robin**
+    /// pipeline, amortizing the cursor's buffers (and fixing the group
+    /// size) across many batches. Trailing partial batches are balanced
+    /// across groups so no group runs nearly empty (see
+    /// `crate::batch::balanced_chunks`).
     ///
     /// # Panics
     /// Panics if `keys` and `out` differ in length.
@@ -155,10 +164,132 @@ impl<S: KeySource> HotTrie<S> {
         assert_eq!(keys.len(), out.len(), "one output slot per key");
         let _t = self.metrics.timer(OpKind::GetBatch);
         self.metrics.items(OpKind::GetBatch, keys.len() as u64);
-        let group = cursor.group();
-        for (kc, oc) in keys.chunks(group).zip(out.chunks_mut(group)) {
-            cursor.run_group(self.root, &self.source, kc, oc);
+        for r in crate::batch::balanced_chunks(keys.len(), cursor.group()) {
+            cursor.run_group(self.root, &self.source, &keys[r.clone()], &mut out[r]);
         }
+    }
+
+    /// Like [`get_batch`](Self::get_batch) with a caller-provided
+    /// [`MlpScheduler`](crate::MlpScheduler): the completion-driven
+    /// out-of-order pipeline with the scheduler's lane buffers (and its
+    /// in-flight depth) amortized across many batches.
+    ///
+    /// # Panics
+    /// Panics if `keys` and `out` differ in length.
+    pub fn get_batch_ooo<K: AsRef<[u8]>>(
+        &self,
+        keys: &[K],
+        out: &mut [Option<u64>],
+        sched: &mut crate::mlp::MlpScheduler,
+    ) {
+        assert_eq!(keys.len(), out.len(), "one output slot per key");
+        let _t = self.metrics.timer(OpKind::GetBatch);
+        self.metrics.items(OpKind::GetBatch, keys.len() as u64);
+        let (mut tids, mut bounds) = (Vec::new(), Vec::new());
+        sched.run(
+            &self.source,
+            &crate::mlp::LookupStream(keys),
+            out,
+            &mut tids,
+            &mut bounds,
+            || self.root,
+            false,
+            &self.metrics,
+        );
+    }
+
+    /// Service a mixed stream of point lookups and range scans in one
+    /// out-of-order pipeline: `out[i]` answers request `i` when it is a
+    /// [`BatchRequest::Get`](crate::BatchRequest); each
+    /// [`BatchRequest::Scan`](crate::BatchRequest) appends its TIDs to
+    /// `tids` with one end offset pushed to `bounds`, in stream order
+    /// (`tids` and `bounds` are cleared first; `bounds` starts with 0).
+    ///
+    /// This is the entry point YCSB's coalesced operation batches feed:
+    /// get and scan-seek descents share the same lane ring, so a scan-heavy
+    /// stretch never drains the lookup pipeline or vice versa. Records one
+    /// `get_batch` and one `scan_batch` metrics sample.
+    ///
+    /// # Panics
+    /// Panics if `reqs` and `out` differ in length.
+    pub fn mixed_batch_ooo(
+        &self,
+        reqs: &[crate::mlp::BatchRequest<'_>],
+        out: &mut [Option<u64>],
+        tids: &mut Vec<u64>,
+        bounds: &mut Vec<usize>,
+        sched: &mut crate::mlp::MlpScheduler,
+    ) {
+        assert_eq!(reqs.len(), out.len(), "one output slot per request");
+        let _tg = self.metrics.timer(OpKind::GetBatch);
+        let _ts = self.metrics.timer(OpKind::ScanBatch);
+        let gets = reqs
+            .iter()
+            .filter(|r| matches!(r, crate::mlp::BatchRequest::Get(_)))
+            .count();
+        self.metrics.items(OpKind::GetBatch, gets as u64);
+        tids.clear();
+        bounds.clear();
+        bounds.push(0);
+        sched.run(&self.source, reqs, out, tids, bounds, || self.root, false, &self.metrics);
+        self.metrics.items(OpKind::ScanBatch, tids.len() as u64);
+    }
+
+    /// Remove `keys` as one batch, writing what [`remove`](Self::remove)
+    /// would have returned for each key (in order) into `out`.
+    ///
+    /// The existence probes run as remove-probe descents through the
+    /// out-of-order scheduler — overlapping their cache misses and warming
+    /// the upper tree levels — then the structural removals apply
+    /// sequentially for the keys that probed present. Results are
+    /// identical to calling `remove` per key.
+    ///
+    /// # Panics
+    /// Panics if `keys` and `out` differ in length.
+    pub fn remove_batch<K: AsRef<[u8]>>(&mut self, keys: &[K], out: &mut [Option<u64>]) {
+        assert_eq!(keys.len(), out.len(), "one output slot per key");
+        let _t = self.metrics.timer(OpKind::RemoveBatch);
+        self.metrics.items(OpKind::RemoveBatch, keys.len() as u64);
+        let mut sched = crate::mlp::MlpScheduler::new();
+        let (mut tids, mut bounds) = (Vec::new(), Vec::new());
+        sched.run(
+            &self.source,
+            &crate::mlp::ProbeStream(keys),
+            out,
+            &mut tids,
+            &mut bounds,
+            || self.root,
+            false,
+            &self.metrics,
+        );
+        // Apply phase: only probed-present keys walk the structural remove.
+        // A duplicate key probes present in every slot but the first apply
+        // wins — exactly the answers sequential `remove` calls give.
+        let mut key_buf = self.key_buf.take().unwrap_or_default();
+        for (key, slot) in keys.iter().zip(out.iter_mut()) {
+            if slot.is_some() {
+                key_buf.set(key.as_ref());
+                *slot = self.remove_padded(&key_buf);
+            }
+        }
+        self.key_buf = Some(key_buf);
+    }
+
+    /// Run the adaptive in-flight-depth controller: sweep
+    /// [`DEPTH_SWEEP`](crate::mlp::DEPTH_SWEEP) over a `get_batch_ooo` of
+    /// `sample` and return a scheduler configured with the fastest depth
+    /// (`HOT_MLP_DEPTH` overrides without sweeping). With the `metrics`
+    /// feature, the lane-occupancy histogram accumulated during the sweep
+    /// shows how full each candidate ran.
+    pub fn tuned_scheduler<K: AsRef<[u8]>>(&self, sample: &[K]) -> crate::mlp::MlpScheduler {
+        let mut out = vec![None; sample.len()];
+        let depth = crate::mlp::tune_depth(|depth| {
+            let mut sched = crate::mlp::MlpScheduler::with_depth(depth);
+            let start = std::time::Instant::now();
+            self.get_batch_ooo(sample, &mut out, &mut sched);
+            start.elapsed()
+        });
+        crate::mlp::MlpScheduler::with_depth(depth)
     }
 
     /// Whether `key` is present.
@@ -636,24 +767,31 @@ impl<S: KeySource> HotTrie<S> {
     /// `i`'s TIDs land in `tids[bounds[i]..bounds[i + 1]]` (both vectors are
     /// cleared first; `bounds` gets `requests.len() + 1` prefix offsets).
     ///
-    /// The seek descents of up to [`DEFAULT_GROUP`](crate::DEFAULT_GROUP)
-    /// requests proceed round-robin with one prefetch per hop, overlapping
-    /// their cache misses the way [`get_batch`](Self::get_batch) overlaps
-    /// point lookups; results are identical to calling
-    /// [`scan`](Self::scan) per request.
+    /// The seek descents run through the completion-driven out-of-order
+    /// scheduler ([`crate::mlp`]) — up to N seeks in flight, lanes
+    /// refilling on completion — unless `HOT_FORCE_ROUND_ROBIN` pins this
+    /// entry point to the fixed round-robin cursor. Results are identical
+    /// to calling [`scan`](Self::scan) per request on either path.
     pub fn scan_batch<K: AsRef<[u8]>>(
         &self,
         requests: &[(K, usize)],
         tids: &mut Vec<u64>,
         bounds: &mut Vec<usize>,
     ) {
-        let mut cursor = crate::scan::ScanBatchCursor::new();
-        self.scan_batch_with(requests, tids, bounds, &mut cursor);
+        if crate::mlp::force_round_robin() {
+            let mut cursor = crate::scan::ScanBatchCursor::new();
+            self.scan_batch_with(requests, tids, bounds, &mut cursor);
+        } else {
+            let mut sched = crate::mlp::MlpScheduler::new();
+            self.scan_batch_ooo(requests, tids, bounds, &mut sched);
+        }
     }
 
     /// Like [`scan_batch`](Self::scan_batch) with a caller-provided
-    /// [`ScanBatchCursor`](crate::ScanBatchCursor), amortizing its lane
-    /// state (and fixing the group size) across many batches.
+    /// [`ScanBatchCursor`](crate::ScanBatchCursor): the fixed
+    /// **round-robin** pipeline, amortizing its lane state (and fixing the
+    /// group size) across many batches; trailing partial batches are
+    /// balanced across groups.
     pub fn scan_batch_with<K: AsRef<[u8]>>(
         &self,
         requests: &[(K, usize)],
@@ -665,9 +803,38 @@ impl<S: KeySource> HotTrie<S> {
         tids.clear();
         bounds.clear();
         bounds.push(0);
-        for chunk in requests.chunks(cursor.group()) {
-            cursor.run_group(self.root, &self.source, chunk, tids, bounds);
+        for r in crate::batch::balanced_chunks(requests.len(), cursor.group()) {
+            cursor.run_group(self.root, &self.source, &requests[r], tids, bounds);
         }
+        self.metrics.items(OpKind::ScanBatch, tids.len() as u64);
+    }
+
+    /// Like [`scan_batch`](Self::scan_batch) with a caller-provided
+    /// [`MlpScheduler`](crate::MlpScheduler): the completion-driven
+    /// out-of-order pipeline, sharing its lane ring (and in-flight depth)
+    /// across many batches.
+    pub fn scan_batch_ooo<K: AsRef<[u8]>>(
+        &self,
+        requests: &[(K, usize)],
+        tids: &mut Vec<u64>,
+        bounds: &mut Vec<usize>,
+        sched: &mut crate::mlp::MlpScheduler,
+    ) {
+        let _t = self.metrics.timer(OpKind::ScanBatch);
+        tids.clear();
+        bounds.clear();
+        bounds.push(0);
+        let mut out: [Option<u64>; 0] = [];
+        sched.run(
+            &self.source,
+            &crate::mlp::ScanStream(requests),
+            &mut out,
+            tids,
+            bounds,
+            || self.root,
+            false,
+            &self.metrics,
+        );
         self.metrics.items(OpKind::ScanBatch, tids.len() as u64);
     }
 

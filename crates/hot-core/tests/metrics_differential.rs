@@ -12,9 +12,9 @@
 //! `cargo xtask verify-no-metrics`).
 #![cfg(feature = "metrics")]
 
-use hot_core::hot_metrics::{OpKind, RowexCounter};
+use hot_core::hot_metrics::{OpKind, RowexCounter, SchedCounter};
 use hot_core::sync::ConcurrentHot;
-use hot_core::HotTrie;
+use hot_core::{BatchRequest, HotTrie, MlpScheduler};
 use hot_keys::{encode_u64, EmbeddedKeySource};
 use rand::{Rng, SeedableRng};
 use std::sync::Arc;
@@ -32,8 +32,13 @@ struct Shadow {
     get_batch_items: u64,
     scan_batches: u64,
     scan_batch_items: u64,
+    remove_batches: u64,
+    remove_batch_items: u64,
     bulk_loads: u64,
     bulk_items: u64,
+    /// Requests the out-of-order scheduler was handed (every one must show
+    /// up as exactly one refill and one completion).
+    sched_requests: u64,
 }
 
 fn assert_counters_match(snap: &hot_core::hot_metrics::MetricsSnapshot, shadow: &Shadow) {
@@ -44,6 +49,11 @@ fn assert_counters_match(snap: &hot_core::hot_metrics::MetricsSnapshot, shadow: 
         (OpKind::Scan, shadow.scans, Some(shadow.scan_items)),
         (OpKind::GetBatch, shadow.get_batches, Some(shadow.get_batch_items)),
         (OpKind::ScanBatch, shadow.scan_batches, Some(shadow.scan_batch_items)),
+        (
+            OpKind::RemoveBatch,
+            shadow.remove_batches,
+            Some(shadow.remove_batch_items),
+        ),
         (OpKind::BulkLoad, shadow.bulk_loads, Some(shadow.bulk_items)),
     ];
     for (kind, expected, expected_items) in cases {
@@ -59,6 +69,20 @@ fn assert_counters_match(snap: &hot_core::hot_metrics::MetricsSnapshot, shadow: 
             assert_eq!(op.items, items, "{} items", kind.label());
         }
     }
+
+    // Scheduler health: every request handed to the out-of-order ring is
+    // refilled into a lane exactly once and completes exactly once — no
+    // request is dropped, duplicated, or left in flight.
+    assert_eq!(
+        snap.sched.get(SchedCounter::Refill),
+        shadow.sched_requests,
+        "scheduler refills == requests"
+    );
+    assert_eq!(
+        snap.sched.completions(),
+        shadow.sched_requests,
+        "scheduler completions == requests"
+    );
 }
 
 #[test]
@@ -116,6 +140,63 @@ fn single_threaded_counters_are_exact() {
     shadow.scan_batches += 1;
     shadow.scan_batch_items += tids.len() as u64;
 
+    if !hot_core::mlp::force_round_robin() {
+        // The two convenience calls above routed through the scheduler.
+        shadow.sched_requests += keys.len() as u64 + requests.len() as u64;
+    }
+
+    // Explicit out-of-order entry points (scheduled regardless of the
+    // HOT_FORCE_ROUND_ROBIN routing override).
+    let mut sched = MlpScheduler::new();
+    trie.get_batch_ooo(&keys, &mut out, &mut sched);
+    shadow.get_batches += 1;
+    shadow.get_batch_items += keys.len() as u64;
+    shadow.sched_requests += keys.len() as u64;
+
+    trie.scan_batch_ooo(&requests, &mut tids, &mut bounds, &mut sched);
+    shadow.scan_batches += 1;
+    shadow.scan_batch_items += tids.len() as u64;
+    shadow.sched_requests += requests.len() as u64;
+
+    // A mixed get/scan stream records one sample of each batch kind.
+    let mixed: Vec<BatchRequest> = keys[..32]
+        .iter()
+        .enumerate()
+        .map(|(i, k)| {
+            if i % 3 == 0 {
+                BatchRequest::Scan(k.as_ref(), 4)
+            } else {
+                BatchRequest::Get(k.as_ref())
+            }
+        })
+        .collect();
+    let mut mixed_out = vec![None; mixed.len()];
+    trie.mixed_batch_ooo(&mixed, &mut mixed_out, &mut tids, &mut bounds, &mut sched);
+    let mixed_gets = mixed
+        .iter()
+        .filter(|r| matches!(r, BatchRequest::Get(_)))
+        .count() as u64;
+    shadow.get_batches += 1;
+    shadow.get_batch_items += mixed_gets;
+    shadow.scan_batches += 1;
+    shadow.scan_batch_items += tids.len() as u64;
+    shadow.sched_requests += mixed.len() as u64;
+
+    // Batched removal: one RemoveBatch sample; the apply phase runs the
+    // *uninstrumented* structural remove, so OpKind::Remove must not move.
+    let removes_before = trie.metrics_snapshot().op(OpKind::Remove).count;
+    let rm_keys: Vec<[u8; 8]> = (0..48u64).map(|i| encode_u64(i * 6)).collect();
+    let mut rm_out = vec![None; rm_keys.len()];
+    trie.remove_batch(&rm_keys, &mut rm_out);
+    shadow.remove_batches += 1;
+    shadow.remove_batch_items += rm_keys.len() as u64;
+    shadow.sched_requests += rm_keys.len() as u64;
+    assert_eq!(
+        trie.metrics_snapshot().op(OpKind::Remove).count,
+        removes_before,
+        "remove_batch must not inflate scalar remove counters"
+    );
+
     // The invariant walk re-looks up every key; it must NOT move the
     // operation counters (it uses the uninstrumented internal path).
     let before = trie.metrics_snapshot();
@@ -128,6 +209,28 @@ fn single_threaded_counters_are_exact() {
     );
 
     assert_counters_match(&after, &shadow);
+
+    // Scheduler-health details beyond the request/completion balance: the
+    // single-threaded trie never publishes torn slots, so no descent ever
+    // restarts, and every sweep round sampled a non-empty occupancy.
+    assert_eq!(
+        after.sched.get(SchedCounter::Redescent),
+        0,
+        "single-threaded trie never re-descends"
+    );
+    assert!(after.sched.occupancy_samples() > 0, "occupancy was sampled");
+    let mean = after.sched.mean_occupancy();
+    assert!(
+        mean > 0.0 && mean <= hot_core::hot_metrics::MAX_OCCUPANCY as f64,
+        "mean lane occupancy {mean} in range"
+    );
+    // Completions split by descent kind: lookups (get + mixed gets),
+    // scan seeks (scans + mixed scans), remove probes.
+    assert_eq!(
+        after.sched.get(SchedCounter::ProbeDone),
+        shadow.remove_batch_items,
+        "probe completions"
+    );
 
     // Structural gauges agree with the index's own accounting.
     let s = after.structure.as_ref().expect("quiesced walk succeeds");
@@ -142,6 +245,10 @@ fn single_threaded_counters_are_exact() {
     // JSON output carries the live ops.
     let json = after.to_json();
     assert!(json.contains("\"get\"") && json.contains("\"bulk_load\""));
+    assert!(
+        json.contains("\"sched\"") && json.contains("\"mean_occupancy\""),
+        "scheduler health block present once the ring has run"
+    );
 }
 
 #[test]
@@ -222,4 +329,19 @@ fn concurrent_counters_are_exact_across_threads() {
     assert_eq!(phase.op(OpKind::Get).hist_total(), 500);
     assert_eq!(phase.op(OpKind::Insert).count, 0);
     assert_eq!(phase.rowex.get(RowexCounter::Restart), 0);
+
+    // Quiesced out-of-order batch: refills and completions both equal the
+    // request count (no writer is racing, so no torn-slot re-descents
+    // either), and the whole batch pins exactly one epoch.
+    let sched_start = trie.metrics_snapshot();
+    let keys: Vec<[u8; 8]> = (0..300u64).map(encode_u64).collect();
+    let mut out = vec![None; keys.len()];
+    let mut sched = MlpScheduler::new();
+    trie.get_batch_ooo(&keys, &mut out, &mut sched);
+    let d = trie.metrics_snapshot().since(&sched_start);
+    assert_eq!(d.sched.get(SchedCounter::Refill), keys.len() as u64);
+    assert_eq!(d.sched.completions(), keys.len() as u64);
+    assert_eq!(d.sched.get(SchedCounter::Redescent), 0, "quiesced: no torn slots");
+    assert_eq!(d.rowex.get(RowexCounter::EpochPin), 1, "one pin per batch");
+    assert_eq!(d.op(OpKind::GetBatch).count, 1);
 }

@@ -1,0 +1,371 @@
+//! Differential tests for the completion-driven out-of-order scheduler
+//! (DESIGN.md §14): every batch served through [`MlpScheduler`] must be
+//! **byte-identical** — same hits, same misses, same TIDs in the same
+//! order, same scan bounds — to both the scalar operations and the
+//! round-robin cursors, across four key distributions (URL, email,
+//! YAGO-triple, integer), every in-flight depth (which shuffles the
+//! *completion* order without being allowed to shuffle the *result*
+//! order), mixed get/scan streams, and concurrent churn on the ROWEX
+//! index. The whole file is also exercised in the `HOT_FORCE_SCALAR` and
+//! `HOT_FORCE_ROUND_ROBIN` CI lanes: results must not depend on either
+//! override.
+
+use hot_core::sync::ConcurrentHot;
+use hot_core::{BatchCursor, BatchRequest, HotTrie, MlpScheduler, ScanBatchCursor};
+use hot_keys::{encode_u64, ArenaKeySource};
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+/// In-flight depths spanning the supported range: depth 1 serializes the
+/// ring (completion order == request order), larger depths complete
+/// shallow keys many rounds before deep ones.
+const DEPTHS: [usize; 5] = [1, 2, 7, 16, 64];
+
+/// FNV-1a over a result stream — the "checksums identical" acceptance
+/// criterion reduced to one word per batch.
+fn fnv1a(words: impl IntoIterator<Item = u64>) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for w in words {
+        for b in w.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+fn checksum_out(out: &[Option<u64>]) -> u64 {
+    fnv1a(out.iter().map(|s| s.map_or(u64::MAX, |t| t.wrapping_add(1))))
+}
+
+fn checksum_scan(tids: &[u64], bounds: &[usize]) -> u64 {
+    fnv1a(
+        tids.iter()
+            .copied()
+            .chain(bounds.iter().map(|&b| b as u64 ^ 0x5ca_5ca5)),
+    )
+}
+
+/// The four key distributions of the paper's evaluation, miniaturized:
+/// URLs share long common prefixes, emails discriminate mid-key, YAGO
+/// triples are short and dense, integers are fixed-width binary. All sets
+/// are prefix-free (every key ends in a unique terminator region).
+fn datasets() -> Vec<(&'static str, Vec<Vec<u8>>)> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0x0007_D15C);
+    let hosts = ["cs.uni-example.org", "db.example.com", "example.net"];
+    let url: Vec<Vec<u8>> = (0..2_500u32)
+        .map(|i| {
+            let mut k = format!(
+                "https://{}/path/{:02}/item-{:06}?v={}",
+                hosts[(i % 3) as usize],
+                i % 17,
+                i,
+                rng.gen_range(0..100u32)
+            )
+            .into_bytes();
+            k.push(0);
+            k
+        })
+        .collect();
+    let email: Vec<Vec<u8>> = (0..2_500u32)
+        .map(|i| {
+            let mut k = format!("user{:05}@dept{}.example.org", i, i % 23).into_bytes();
+            k.push(0);
+            k
+        })
+        .collect();
+    let yago: Vec<Vec<u8>> = (0..2_500u32)
+        .map(|i| {
+            let mut k = format!("e{:06}\trel{:02}", i * 7 % 100_000, i % 40).into_bytes();
+            k.push(0);
+            k.push((i / 4_000) as u8 + 1); // disambiguate collisions, no interior NUL
+            k.push(0);
+            k
+        })
+        .collect();
+    let integer: Vec<Vec<u8>> = (0..2_500u64).map(|i| encode_u64(i * 3).to_vec()).collect();
+    vec![("url", url), ("email", email), ("yago", yago), ("integer", integer)]
+}
+
+/// Probe set: every inserted key, plus mutated misses, shuffled so
+/// adjacent lanes descend to unrelated parts of the trie.
+fn probes_for(keys: &[Vec<u8>], rng: &mut impl Rng) -> Vec<Vec<u8>> {
+    let mut probes: Vec<Vec<u8>> = keys.to_vec();
+    probes.extend(keys.iter().step_by(5).map(|k| {
+        let mut m = k.clone();
+        let mid = m.len() / 2;
+        m[mid] ^= 0x15;
+        m
+    }));
+    // Fisher–Yates with the caller's seeded rng.
+    for i in (1..probes.len()).rev() {
+        probes.swap(i, rng.gen_range(0..=i));
+    }
+    probes
+}
+
+struct Fixture {
+    name: &'static str,
+    trie: HotTrie<Arc<ArenaKeySource>>,
+    sync: ConcurrentHot<Arc<ArenaKeySource>>,
+    probes: Vec<Vec<u8>>,
+}
+
+fn fixtures() -> Vec<Fixture> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xBEE5);
+    datasets()
+        .into_iter()
+        .map(|(name, keys)| {
+            let mut arena = ArenaKeySource::new();
+            let tids: Vec<u64> = keys.iter().map(|k| arena.push(k)).collect();
+            let arena = Arc::new(arena);
+            let mut trie = HotTrie::new(Arc::clone(&arena));
+            let sync = ConcurrentHot::new(Arc::clone(&arena));
+            for (k, &tid) in keys.iter().zip(&tids) {
+                trie.insert(k, tid);
+                sync.insert(k, tid);
+            }
+            let probes = probes_for(&keys, &mut rng);
+            Fixture { name, trie, sync, probes }
+        })
+        .collect()
+}
+
+#[test]
+fn lookups_byte_identical_across_scalar_round_robin_and_every_depth() {
+    for fx in fixtures() {
+        let expected: Vec<Option<u64>> = fx.probes.iter().map(|k| fx.trie.get(k)).collect();
+        let want = checksum_out(&expected);
+
+        let mut cursor = BatchCursor::new();
+        let mut out = vec![None; fx.probes.len()];
+        fx.trie.get_batch_with(&fx.probes, &mut out, &mut cursor);
+        assert_eq!(checksum_out(&out), want, "{}: round-robin", fx.name);
+        assert_eq!(out, expected, "{}: round-robin lookup results", fx.name);
+
+        for depth in DEPTHS {
+            let mut sched = MlpScheduler::with_depth(depth);
+            let mut out = vec![None; fx.probes.len()];
+            fx.trie.get_batch_ooo(&fx.probes, &mut out, &mut sched);
+            assert_eq!(checksum_out(&out), want, "{}: ooo depth {depth}", fx.name);
+            assert_eq!(out, expected, "{}: ooo depth {depth} results", fx.name);
+
+            // Same scheduler, same batch, second run: lane-state reuse must
+            // not leak between batches.
+            let mut again = vec![None; fx.probes.len()];
+            fx.trie.get_batch_ooo(&fx.probes, &mut again, &mut sched);
+            assert_eq!(again, expected, "{}: ooo depth {depth} reused", fx.name);
+
+            // ROWEX variant, quiesced: identical answers.
+            let mut out = vec![None; fx.probes.len()];
+            fx.sync.get_batch_ooo(&fx.probes, &mut out, &mut sched);
+            assert_eq!(checksum_out(&out), want, "{}: sync ooo depth {depth}", fx.name);
+        }
+    }
+}
+
+#[test]
+fn scans_byte_identical_across_scalar_round_robin_and_every_depth() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0x5CA7);
+    for fx in fixtures() {
+        let requests: Vec<(Vec<u8>, usize)> = fx
+            .probes
+            .iter()
+            .step_by(3)
+            .map(|k| (k.clone(), rng.gen_range(0..24usize)))
+            .collect();
+
+        // Scalar ground truth, concatenated in request order.
+        let mut want_tids = Vec::new();
+        let mut want_bounds = vec![0usize];
+        for (k, limit) in &requests {
+            want_tids.extend(fx.trie.scan(k, *limit));
+            want_bounds.push(want_tids.len());
+        }
+        let want = checksum_scan(&want_tids, &want_bounds);
+
+        let mut cursor = ScanBatchCursor::new();
+        let (mut tids, mut bounds) = (Vec::new(), Vec::new());
+        fx.trie.scan_batch_with(&requests, &mut tids, &mut bounds, &mut cursor);
+        assert_eq!(checksum_scan(&tids, &bounds), want, "{}: round-robin scan", fx.name);
+        assert_eq!((&tids, &bounds), (&want_tids, &want_bounds), "{}: rr scan", fx.name);
+
+        for depth in DEPTHS {
+            let mut sched = MlpScheduler::with_depth(depth);
+            fx.trie.scan_batch_ooo(&requests, &mut tids, &mut bounds, &mut sched);
+            assert_eq!(checksum_scan(&tids, &bounds), want, "{}: ooo scan depth {depth}", fx.name);
+            assert_eq!(tids, want_tids, "{}: ooo scan tids depth {depth}", fx.name);
+            assert_eq!(bounds, want_bounds, "{}: ooo scan bounds depth {depth}", fx.name);
+
+            fx.sync.scan_batch_ooo(&requests, &mut tids, &mut bounds, &mut sched);
+            assert_eq!(checksum_scan(&tids, &bounds), want, "{}: sync ooo scan depth {depth}", fx.name);
+        }
+    }
+}
+
+#[test]
+fn mixed_get_scan_streams_interleave_without_cross_talk() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0x111D);
+    for fx in fixtures() {
+        // Alternate gets and scans in one request stream; limits vary.
+        let limits: Vec<usize> = fx.probes.iter().map(|_| rng.gen_range(0..9)).collect();
+        let reqs: Vec<BatchRequest> = fx
+            .probes
+            .iter()
+            .zip(&limits)
+            .enumerate()
+            .map(|(i, (k, &limit))| {
+                if i % 2 == 0 {
+                    BatchRequest::Get(k.as_slice())
+                } else {
+                    BatchRequest::Scan(k.as_slice(), limit)
+                }
+            })
+            .collect();
+
+        // Scalar ground truth, walking the stream in order.
+        let mut want_out: Vec<Option<u64>> = vec![None; reqs.len()];
+        let mut want_tids = Vec::new();
+        let mut want_bounds = vec![0usize];
+        for (i, req) in reqs.iter().enumerate() {
+            match req {
+                BatchRequest::Get(k) => want_out[i] = fx.trie.get(k),
+                BatchRequest::Scan(k, limit) => {
+                    want_tids.extend(fx.trie.scan(k, *limit));
+                    want_bounds.push(want_tids.len());
+                }
+            }
+        }
+
+        for depth in DEPTHS {
+            let mut sched = MlpScheduler::with_depth(depth);
+            let mut out = vec![None; reqs.len()];
+            let (mut tids, mut bounds) = (Vec::new(), Vec::new());
+            fx.trie.mixed_batch_ooo(&reqs, &mut out, &mut tids, &mut bounds, &mut sched);
+            assert_eq!(out, want_out, "{}: mixed gets depth {depth}", fx.name);
+            assert_eq!(tids, want_tids, "{}: mixed scan tids depth {depth}", fx.name);
+            assert_eq!(bounds, want_bounds, "{}: mixed scan bounds depth {depth}", fx.name);
+
+            let mut out = vec![None; reqs.len()];
+            fx.sync.mixed_batch_ooo(&reqs, &mut out, &mut tids, &mut bounds, &mut sched);
+            assert_eq!(out, want_out, "{}: sync mixed gets depth {depth}", fx.name);
+            assert_eq!(tids, want_tids, "{}: sync mixed tids depth {depth}", fx.name);
+        }
+    }
+}
+
+#[test]
+fn remove_batch_equals_sequential_removes() {
+    for fx in fixtures() {
+        // Two identical tries; remove a probe slice (hits, misses, and
+        // in-batch duplicates) batched on one, sequentially on the other.
+        let mut victims: Vec<Vec<u8>> = fx.probes.iter().step_by(4).cloned().collect();
+        let dup = victims[0].clone();
+        victims.push(dup);
+
+        let mut batched = fx.trie;
+        let expected: Vec<Option<u64>> = victims.iter().map(|k| fx.sync.remove(k)).collect();
+
+        let mut out = vec![None; victims.len()];
+        batched.remove_batch(&victims, &mut out);
+        assert_eq!(out, expected, "{}: remove_batch answers", fx.name);
+
+        // Post-state agrees key by key.
+        for k in &victims {
+            assert_eq!(batched.get(k), fx.sync.get(k), "{}: post-remove state", fx.name);
+        }
+        assert_eq!(batched.len(), fx.sync.len(), "{}: post-remove sizes", fx.name);
+    }
+}
+
+#[test]
+fn convenience_entry_points_agree_with_explicit_paths() {
+    // `get_batch`/`scan_batch` route by HOT_FORCE_ROUND_ROBIN; whichever
+    // way this process was launched, the answers must match both explicit
+    // engines (this is what the forced CI lanes re-check).
+    for fx in fixtures().into_iter().take(1) {
+        let expected: Vec<Option<u64>> = fx.probes.iter().map(|k| fx.trie.get(k)).collect();
+        let mut out = vec![None; fx.probes.len()];
+        fx.trie.get_batch(&fx.probes, &mut out);
+        assert_eq!(out, expected);
+        let mut out = vec![None; fx.probes.len()];
+        fx.sync.get_batch(&fx.probes, &mut out);
+        assert_eq!(out, expected);
+    }
+}
+
+#[test]
+fn concurrent_churn_preserves_stable_keys_and_quiesced_equality() {
+    // Writers churn odd keys while a reader batches lookups and scans over
+    // even (stable) keys: stable lookups must always hit with their exact
+    // TID no matter how the scheduler's lanes interleave with structural
+    // modification, torn slots included (bounded re-descents recover).
+    const STABLE: u64 = 4_000;
+    const CHURN_ROUNDS: usize = 60;
+
+    let sync = Arc::new(ConcurrentHot::new(hot_keys::EmbeddedKeySource));
+    for k in 0..STABLE {
+        sync.insert(&encode_u64(k * 2), k * 2);
+    }
+
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    std::thread::scope(|scope| {
+        for t in 0..2u64 {
+            let sync = Arc::clone(&sync);
+            let stop = Arc::clone(&stop);
+            scope.spawn(move || {
+                let mut rng = rand::rngs::StdRng::seed_from_u64(77 + t);
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    let k = rng.gen_range(0..STABLE) * 2 + 1;
+                    if rng.gen_bool(0.5) {
+                        sync.insert(&encode_u64(k), k);
+                    } else {
+                        sync.remove(&encode_u64(k));
+                    }
+                }
+            });
+        }
+
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0xABBA);
+        let mut sched = MlpScheduler::new();
+        for round in 0..CHURN_ROUNDS {
+            sched.set_depth(DEPTHS[round % DEPTHS.len()]);
+            let probes: Vec<[u8; 8]> = (0..512)
+                .map(|_| encode_u64(rng.gen_range(0..STABLE) * 2))
+                .collect();
+            let mut out = vec![None; probes.len()];
+            sync.get_batch_ooo(&probes, &mut out, &mut sched);
+            for (p, got) in probes.iter().zip(&out) {
+                let want = u64::from_be_bytes(*p);
+                assert_eq!(*got, Some(want), "stable key lost under churn");
+            }
+
+            // Scans seeded at stable keys: churned odd keys may or may not
+            // appear, but every span is ordered, bounded by its limit, and
+            // never reaches before its seek key.
+            let reqs: Vec<([u8; 8], usize)> = (0..64)
+                .map(|_| (encode_u64(rng.gen_range(0..STABLE - 8) * 2), 5))
+                .collect();
+            let (mut tids, mut bounds) = (Vec::new(), Vec::new());
+            sync.scan_batch_ooo(&reqs, &mut tids, &mut bounds, &mut sched);
+            assert_eq!(bounds.len(), reqs.len() + 1);
+            for (i, (start, _)) in reqs.iter().enumerate() {
+                let span = &tids[bounds[i]..bounds[i + 1]];
+                assert!(span.len() <= 5, "scan respects its limit");
+                assert!(span.windows(2).all(|w| w[0] < w[1]), "scan is ordered");
+                let lo = u64::from_be_bytes(*start);
+                assert!(span.iter().all(|&t| t >= lo), "scan starts at the seek key");
+            }
+        }
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    });
+
+    // Quiesced: batched and scalar answers are byte-identical again.
+    let probes: Vec<[u8; 8]> = (0..STABLE * 2 + 64).map(encode_u64).collect();
+    let expected: Vec<Option<u64>> = probes.iter().map(|k| sync.get(k)).collect();
+    let mut out = vec![None; probes.len()];
+    let mut sched = MlpScheduler::new();
+    sync.get_batch_ooo(&probes, &mut out, &mut sched);
+    assert_eq!(checksum_out(&out), checksum_out(&expected));
+    assert_eq!(out, expected);
+}

@@ -14,6 +14,11 @@
 //!   failures, optimistic-insert/remove restarts, obsolete-marker
 //!   encounters, epoch pins and the deferred-free queue (queued vs.
 //!   executed; the difference is the reclamation backlog).
+//! * **MLP scheduler health** ([`SchedCounter`] plus the lane-occupancy
+//!   histogram) — refills, completions by descent kind, restart-triggered
+//!   re-descents, and one occupancy sample per scheduler round so the
+//!   achieved in-flight depth of the out-of-order batch pipeline is
+//!   observable (DESIGN.md §14).
 //!
 //! Recording goes to one of [`NUM_SHARDS`] cache-line-padded shards picked
 //! by a per-thread slot, so concurrent writers on different threads do not
@@ -49,6 +54,8 @@ pub enum OpKind {
     ScanBatch = 5,
     /// Sorted bulk load (`bulk_load` / `bulk_load_parallel`).
     BulkLoad = 6,
+    /// Batched removals (`remove_batch`: probe descents + applies).
+    RemoveBatch = 7,
 }
 
 impl OpKind {
@@ -61,6 +68,7 @@ impl OpKind {
         OpKind::GetBatch,
         OpKind::ScanBatch,
         OpKind::BulkLoad,
+        OpKind::RemoveBatch,
     ];
 
     /// Stable lowercase label used in JSON output.
@@ -73,12 +81,13 @@ impl OpKind {
             OpKind::GetBatch => "get_batch",
             OpKind::ScanBatch => "scan_batch",
             OpKind::BulkLoad => "bulk_load",
+            OpKind::RemoveBatch => "remove_batch",
         }
     }
 }
 
 /// Number of instrumented operation kinds.
-pub const NUM_OPS: usize = 7;
+pub const NUM_OPS: usize = 8;
 
 /// ROWEX synchronization health counters (see `hot_core::sync`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -125,6 +134,57 @@ impl RowexCounter {
 
 /// Number of ROWEX health counters.
 pub const NUM_ROWEX: usize = 6;
+
+/// Out-of-order MLP scheduler health counters (see `hot_core::mlp`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum SchedCounter {
+    /// A lane was loaded with a request from the pending queue (initial
+    /// fills count too, so `refills == requests` for a drained batch).
+    Refill = 0,
+    /// A lookup descent completed (hit or miss).
+    LookupDone = 1,
+    /// A scan-seek descent completed (its drain ran).
+    ScanSeekDone = 2,
+    /// A remove-probe descent completed.
+    ProbeDone = 3,
+    /// A lane re-descended from a freshly reloaded root after observing a
+    /// torn (null) slot mid-descent on the concurrent index.
+    Redescent = 4,
+}
+
+impl SchedCounter {
+    /// Every scheduler counter, in `repr` order.
+    pub const ALL: [SchedCounter; NUM_SCHED] = [
+        SchedCounter::Refill,
+        SchedCounter::LookupDone,
+        SchedCounter::ScanSeekDone,
+        SchedCounter::ProbeDone,
+        SchedCounter::Redescent,
+    ];
+
+    /// Stable lowercase label used in JSON output.
+    pub fn label(self) -> &'static str {
+        match self {
+            SchedCounter::Refill => "refills",
+            SchedCounter::LookupDone => "lookup_completions",
+            SchedCounter::ScanSeekDone => "scan_seek_completions",
+            SchedCounter::ProbeDone => "probe_completions",
+            SchedCounter::Redescent => "redescents",
+        }
+    }
+}
+
+/// Number of MLP scheduler health counters.
+pub const NUM_SCHED: usize = 5;
+
+/// Largest lane-occupancy value tracked exactly; the occupancy histogram
+/// has one bucket per occupancy `0..=MAX_OCCUPANCY` (deeper schedulers
+/// clamp into the last bucket).
+pub const MAX_OCCUPANCY: usize = 64;
+
+/// Buckets in the lane-occupancy histogram.
+pub const OCC_BUCKETS: usize = MAX_OCCUPANCY + 1;
 
 /// Sub-bucket resolution: 2^SUB_BITS log-spaced sub-buckets per power of
 /// two, i.e. ≤ 1/16 ≈ 6% relative quantile error.
@@ -200,6 +260,8 @@ impl OpShard {
 struct Shard {
     ops: [OpShard; NUM_OPS],
     rowex: [AtomicU64; NUM_ROWEX],
+    sched: [AtomicU64; NUM_SCHED],
+    occupancy: [AtomicU64; OCC_BUCKETS],
 }
 
 impl Shard {
@@ -207,6 +269,8 @@ impl Shard {
         Shard {
             ops: std::array::from_fn(|_| OpShard::new()),
             rowex: [const { AtomicU64::new(0) }; NUM_ROWEX],
+            sched: [const { AtomicU64::new(0) }; NUM_SCHED],
+            occupancy: [const { AtomicU64::new(0) }; OCC_BUCKETS],
         }
     }
 }
@@ -248,9 +312,15 @@ impl Default for Registry {
 impl Registry {
     /// A fresh all-zero registry.
     pub fn new() -> Registry {
-        Registry {
-            shards: Box::new(std::array::from_fn(|_| Shard::new())),
-        }
+        // Build on the heap: a shard is dominated by its latency
+        // histograms, so the full array is far too large to stage on the
+        // stack of a caller's thread.
+        let shards: Vec<Shard> = (0..NUM_SHARDS).map(|_| Shard::new()).collect();
+        let shards: Box<[Shard; NUM_SHARDS]> = shards
+            .into_boxed_slice()
+            .try_into()
+            .unwrap_or_else(|_| unreachable!("exactly NUM_SHARDS shards"));
+        Registry { shards }
     }
 
     /// Record one completed `op` that took `ns` nanoseconds.
@@ -294,6 +364,28 @@ impl Registry {
             .sum()
     }
 
+    /// Increment an MLP scheduler health counter.
+    #[inline]
+    pub fn incr_sched(&self, c: SchedCounter) {
+        self.shards[shard_index()].sched[c as usize].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one lane-occupancy sample (busy lanes observed at the top of
+    /// a scheduler round; clamped to [`MAX_OCCUPANCY`]).
+    #[inline]
+    pub fn record_occupancy(&self, busy: usize) {
+        self.shards[shard_index()].occupancy[busy.min(MAX_OCCUPANCY)]
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Merged value of one scheduler counter.
+    pub fn sched_counter(&self, c: SchedCounter) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.sched[c as usize].load(Ordering::Relaxed))
+            .sum()
+    }
+
     /// Merge every shard into an immutable snapshot of the operation and
     /// ROWEX metrics (no structural gauges — the owning index attaches
     /// those, see `HotTrie::metrics_snapshot`).
@@ -324,9 +416,21 @@ impl Registry {
         for c in RowexCounter::ALL {
             rowex.counts[c as usize] = self.counter(c);
         }
+        let mut sched = SchedSnapshot::default();
+        for c in SchedCounter::ALL {
+            sched.counts[c as usize] = self.sched_counter(c);
+        }
+        for (i, bucket) in sched.occupancy.iter_mut().enumerate() {
+            *bucket = self
+                .shards
+                .iter()
+                .map(|s| s.occupancy[i].load(Ordering::Relaxed))
+                .sum();
+        }
         MetricsSnapshot {
             ops,
             rowex,
+            sched,
             structure: None,
         }
     }
@@ -489,6 +593,75 @@ impl RowexSnapshot {
     }
 }
 
+/// Merged MLP scheduler health counters plus the lane-occupancy histogram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SchedSnapshot {
+    /// Counter values indexed by `SchedCounter as usize`.
+    pub counts: [u64; NUM_SCHED],
+    /// Occupancy samples per busy-lane count (`occupancy[b]` = rounds that
+    /// started with exactly `b` lanes in flight, `b` clamped to
+    /// [`MAX_OCCUPANCY`]).
+    pub occupancy: [u64; OCC_BUCKETS],
+}
+
+impl Default for SchedSnapshot {
+    fn default() -> Self {
+        SchedSnapshot {
+            counts: [0; NUM_SCHED],
+            occupancy: [0; OCC_BUCKETS],
+        }
+    }
+}
+
+impl SchedSnapshot {
+    /// Value of one counter.
+    pub fn get(&self, c: SchedCounter) -> u64 {
+        self.counts[c as usize]
+    }
+
+    /// Completed descents across all kinds — for a drained batch pipeline
+    /// this must equal both the submitted requests and the refills (the
+    /// metrics differential test asserts exactly that).
+    pub fn completions(&self) -> u64 {
+        self.get(SchedCounter::LookupDone)
+            + self.get(SchedCounter::ScanSeekDone)
+            + self.get(SchedCounter::ProbeDone)
+    }
+
+    /// Total occupancy samples (scheduler rounds observed).
+    pub fn occupancy_samples(&self) -> u64 {
+        self.occupancy.iter().sum()
+    }
+
+    /// Mean busy lanes per round (0 when no samples) — compare against the
+    /// configured depth to see whether the pipeline stayed full.
+    pub fn mean_occupancy(&self) -> f64 {
+        let samples = self.occupancy_samples();
+        if samples == 0 {
+            return 0.0;
+        }
+        let weighted: u64 = self
+            .occupancy
+            .iter()
+            .enumerate()
+            .map(|(b, &n)| b as u64 * n)
+            .sum();
+        weighted as f64 / samples as f64
+    }
+
+    /// This snapshot minus an earlier one (saturating).
+    pub fn since(&self, earlier: &SchedSnapshot) -> SchedSnapshot {
+        let mut out = SchedSnapshot::default();
+        for i in 0..NUM_SCHED {
+            out.counts[i] = self.counts[i].saturating_sub(earlier.counts[i]);
+        }
+        for i in 0..OCC_BUCKETS {
+            out.occupancy[i] = self.occupancy[i].saturating_sub(earlier.occupancy[i]);
+        }
+        out
+    }
+}
+
 /// Structural gauges sampled from a whole-trie invariant walk (see
 /// `hot_core::invariants`): the paper's two adaptivity dimensions made
 /// observable.
@@ -530,6 +703,9 @@ pub struct MetricsSnapshot {
     pub ops: Vec<OpSnapshot>,
     /// ROWEX counters (all zero on single-threaded structures).
     pub rowex: RowexSnapshot,
+    /// MLP scheduler health (all zero until a batched entry point runs
+    /// through the out-of-order scheduler).
+    pub sched: SchedSnapshot,
     /// Structural gauges, when the snapshot sampled the tree.
     pub structure: Option<StructuralSnapshot>,
 }
@@ -560,6 +736,7 @@ impl MetricsSnapshot {
                 .map(|(a, b)| a.since(b))
                 .collect(),
             rowex: self.rowex.since(&earlier.rowex),
+            sched: self.sched.since(&earlier.sched),
             structure: self.structure.clone(),
         }
     }
@@ -596,6 +773,17 @@ impl MetricsSnapshot {
             ", \"deferred_depth\": {}}}",
             self.rowex.deferred_depth()
         ));
+        if self.sched.get(SchedCounter::Refill) > 0 {
+            out.push_str(",\n  \"sched\": {");
+            for c in SchedCounter::ALL.iter() {
+                out.push_str(&format!("\"{}\": {}, ", c.label(), self.sched.get(*c)));
+            }
+            out.push_str(&format!(
+                "\"occupancy_samples\": {}, \"mean_occupancy\": {:.2}}}",
+                self.sched.occupancy_samples(),
+                self.sched.mean_occupancy()
+            ));
+        }
         if let Some(s) = &self.structure {
             out.push_str(&format!(
                 ",\n  \"structure\": {{\"nodes\": {}, \"leaves\": {}, \"height\": {}, \

@@ -29,5 +29,8 @@ pub mod workload;
 pub mod zipf;
 
 pub use dataset::{Dataset, DatasetKind};
-pub use workload::{BatchedOperation, Operation, ReadBatches, RequestDistribution, Workload, WorkloadRun};
+pub use workload::{
+    BatchedOperation, MixedBatchedOperation, MixedBatches, MixedOp, Operation, ReadBatches,
+    RequestDistribution, Workload, WorkloadRun,
+};
 pub use zipf::{Latest, Zipfian};

@@ -26,7 +26,7 @@
 //! ## `bench-check`
 //!
 //! The CI perf-regression gate. Runs the fig8 smoke benchmark
-//! (`--keys 50000 --ops 50000 --batch 8 --bulk`) in a scratch working
+//! (`--keys 50000 --ops 50000 --batch 8 --bulk --ooo`) in a scratch working
 //! directory (`target/bench-check/`, so the checked-in `results/` files
 //! are never clobbered). Because a 50 k-op smoke cell is noisy on shared
 //! hosts, the smoke runs `BENCH_CHECK_RUNS` times (default 3) and the two
@@ -430,11 +430,16 @@ fn justified(lines: &[Line], line: usize, _col: usize, site: Site) -> bool {
 /// The smoke parameters: small enough for CI, large enough that the trie
 /// leaves its root-only regime on every data set.
 const SMOKE_ARGS: &[&str] = &[
-    "--keys", "50000", "--ops", "50000", "--batch", "8", "--bulk", "--threads", "1,2",
+    "--keys", "50000", "--ops", "50000", "--batch", "8", "--bulk", "--threads", "1,2", "--ooo",
 ];
 
 /// The JSON reports the fig8 smoke produces and gates on.
-const BENCH_FILES: &[&str] = &["BENCH_batch.json", "BENCH_scan.json", "BENCH_bulk.json"];
+const BENCH_FILES: &[&str] = &[
+    "BENCH_batch.json",
+    "BENCH_scan.json",
+    "BENCH_bulk.json",
+    "BENCH_ooo.json",
+];
 
 fn bench_check(update: bool) -> ExitCode {
     let root = workspace_root();
