@@ -1,5 +1,10 @@
 //! Memory-level-parallel batched lookups: software-pipelined descent.
 //!
+//! epoch-exempt: shared descent core. The concurrent wrappers in `sync.rs`
+//! pin the epoch *before* loading roots and calling in here; the
+//! single-threaded `HotTrie` needs no pin. Protection is the caller's
+//! contract — these routines only borrow already-protected nodes.
+//!
 //! A single HOT lookup is a serial pointer chase — every compound-node hop
 //! depends on the previous one, so the core can never have more than one
 //! lookup-related cache miss in flight (the Section 4.5 prefetch hides the

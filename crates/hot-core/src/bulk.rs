@@ -1,5 +1,9 @@
 //! Bottom-up sorted bulk loading (DESIGN.md §11).
 //!
+//! epoch-exempt: builds (and on failure frees) a private subtree that is
+//! not published until the caller's single Release CAS — no concurrent
+//! reader can reach these nodes, so no epoch pin is required.
+//!
 //! The COW insert path pays for generality: every key allocates, rebuilds
 //! and frees nodes that the very next insert invalidates. When the input is
 //! already sorted, the whole trie can instead be built bottom-up in one

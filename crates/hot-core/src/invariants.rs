@@ -1,5 +1,8 @@
 //! Whole-trie structural invariant checking.
 //!
+//! epoch-exempt: runs on a quiesced tree (or under `try_check_invariants`'s
+//! best-effort contract) — nothing is retired while the walker holds nodes.
+//!
 //! [`check_tree`] walks every compound node of a (quiesced) HOT and
 //! verifies the paper's structural claims end to end, extending the
 //! per-node [`Builder::try_check_invariants`](crate::node::builder::Builder::try_check_invariants)

@@ -1,5 +1,10 @@
 //! Completion-driven out-of-order MLP scheduler (DESIGN.md §14).
 //!
+//! epoch-exempt: shared descent core. The concurrent wrappers in `sync.rs`
+//! pin the epoch *before* loading roots and calling in here; the
+//! single-threaded `HotTrie` needs no pin. Protection is the caller's
+//! contract — these routines only borrow already-protected nodes.
+//!
 //! The round-robin cursors in [`crate::batch`] and [`crate::scan`] overlap
 //! the cache misses of G independent descents, but they are *synchronous*:
 //! every lane advances exactly once per round, so one slow lane (a deep URL
@@ -496,10 +501,9 @@ impl MlpScheduler {
         // the staging vector, the spans restore the request view. Pure
         // lookup/probe windows (`scans == 0`) skip the re-fetch pass.
         if scans > 0 {
-            for i in 0..n {
+            for (i, &(begin, end)) in spans.iter().enumerate().take(n) {
                 let (_, kind, _) = reqs.fetch(i);
                 if kind == DescentKind::ScanSeek {
-                    let (begin, end) = spans[i];
                     tids.extend_from_slice(&scratch_tids[begin..end]);
                     bounds.push(tids.len());
                 }

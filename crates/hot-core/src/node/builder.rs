@@ -1,6 +1,10 @@
 //! Transient decoded node representation and the intra-node algorithms of
 //! Section 4.4.
 //!
+//! epoch-exempt: builders decode nodes the caller already protects (epoch
+//! pin + node lock on the concurrent path, `&mut` on the single-threaded
+//! path) and build private not-yet-published replacements.
+//!
 //! Nodes are copy-on-write: every structural modification decodes the node
 //! into a [`Builder`] (sorted discriminative positions + widened sparse
 //! partial keys + value words), mutates it, and encodes a fresh node choosing

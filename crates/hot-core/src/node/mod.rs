@@ -1,5 +1,9 @@
 //! Physical node representation (Section 4 of the paper).
 //!
+//! epoch-exempt: node primitives borrow a `RawNode` the caller already
+//! holds legitimately (epoch pin, node lock, private pre-publish build, or
+//! quiescence) — liveness is established a layer above, in `sync.rs`.
+//!
 //! A HOT compound node linearizes a k-constrained binary Patricia trie into
 //! one exact-size heap allocation holding four sections:
 //!
@@ -601,6 +605,7 @@ impl RawNode {
     pub fn value(self, i: usize) -> NodeRef {
         debug_assert!(i < self.count());
         // SAFETY: i < count; values are initialized at build time.
+        // pairs-with: value-slot
         NodeRef(unsafe { (*self.values_ptr().add(i)).load(Ordering::Acquire) })
     }
 
@@ -613,6 +618,7 @@ impl RawNode {
     pub fn store_value(self, i: usize, v: NodeRef) {
         debug_assert!(i < self.count());
         // SAFETY: i < count.
+        // pairs-with: value-slot
         unsafe { (*self.values_ptr().add(i)).store(v.0, Ordering::Release) }
     }
 

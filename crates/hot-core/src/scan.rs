@@ -1,5 +1,10 @@
 //! Allocation-free, prefetch-pipelined range scans (workload E fast path).
 //!
+//! epoch-exempt: shared descent core. The concurrent wrappers in `sync.rs`
+//! pin the epoch *before* loading the root and calling in here; the
+//! single-threaded `HotTrie` needs no pin. Protection is the caller's
+//! contract — these routines only borrow already-protected nodes.
+//!
 //! A YCSB-E scan is `range_from(start).take(len)`: seek to the first entry
 //! `>= start`, then walk leaves in order. Done naively that costs, per
 //! operation, a fresh frame-stack `Vec`, a fresh output `Vec`, a 264-byte

@@ -68,6 +68,7 @@ fn try_lock(node: RawNode) -> bool {
     let current = word.load(Ordering::Relaxed);
     current & LOCKED == 0
         && word
+            // pairs-with: node-lock
             .compare_exchange(current, current | LOCKED, Ordering::Acquire, Ordering::Relaxed)
             .is_ok()
 }
@@ -78,7 +79,7 @@ fn try_lock(node: RawNode) -> bool {
 /// through the Release slot/root stores instead.)
 #[inline]
 fn unlock(node: RawNode) {
-    node.lock_word().fetch_and(!LOCKED, Ordering::Release);
+    node.lock_word().fetch_and(!LOCKED, Ordering::Release); // pairs-with: node-lock
 }
 
 /// Ordering: **Acquire** — pairs with the Release in [`mark_obsolete`].
@@ -87,7 +88,7 @@ fn unlock(node: RawNode) {
 /// node (no livelock on a stale root/slot).
 #[inline]
 fn is_obsolete(node: RawNode) -> bool {
-    node.lock_word().load(Ordering::Acquire) & OBSOLETE != 0
+    node.lock_word().load(Ordering::Acquire) & OBSOLETE != 0 // pairs-with: obsolete-flag
 }
 
 /// Ordering: **Release** — pairs with the Acquire in [`is_obsolete`].
@@ -96,7 +97,7 @@ fn is_obsolete(node: RawNode) -> bool {
 /// visible.
 #[inline]
 fn mark_obsolete(node: RawNode) {
-    node.lock_word().fetch_or(OBSOLETE, Ordering::Release);
+    node.lock_word().fetch_or(OBSOLETE, Ordering::Release); // pairs-with: obsolete-flag
 }
 
 /// A concurrently accessible Height Optimized Trie.
@@ -232,6 +233,7 @@ impl<S: KeySource> ConcurrentHot<S> {
         // worker threads' stores, which happened-before their join).
         match self
             .root
+            // pairs-with: root-publish
             .compare_exchange(0, root.0, Ordering::Release, Ordering::Relaxed)
         {
             Ok(_) => {
@@ -254,7 +256,7 @@ impl<S: KeySource> ConcurrentHot<S> {
     /// therefore observes the fully `fill`ed node body behind it.
     #[inline]
     fn load_root(&self) -> NodeRef {
-        NodeRef(self.root.load(Ordering::Acquire))
+        NodeRef(self.root.load(Ordering::Acquire)) // pairs-with: root-publish
     }
 
     /// Wait-free lookup (Listing 2): no locks, no restarts.
@@ -608,7 +610,7 @@ impl<S: KeySource> ConcurrentHot<S> {
     /// One optimistic insert attempt: analyze, lock, validate, re-analyze,
     /// apply. `Err` requests a restart.
     fn try_insert(&self, key: &PaddedKey, tid: u64, guard: &epoch::Guard) -> Result<Option<u64>, ()> {
-        let plan = self.analyze(key, tid)?;
+        let plan = self.analyze(key, tid, guard)?;
 
         // Cases without node locks: root-word CAS.
         if let PlanKind::GrowRoot { expected, pos, key_bit, existing } = plan.kind {
@@ -628,6 +630,7 @@ impl<S: KeySource> ConcurrentHot<S> {
             // orders this thread against whichever CAS installed `expected`.
             // **Acquire** on failure so the retry loop re-analyzes against a
             // fully published competing root.
+            // pairs-with: root-publish
             return match self.root.compare_exchange(
                 expected,
                 new_word,
@@ -657,6 +660,7 @@ impl<S: KeySource> ConcurrentHot<S> {
             // node memory is published), but keeping the strongest ordering
             // used for root updates keeps the protocol uniform and costs
             // nothing on x86.
+            // pairs-with: root-publish
             return match self.root.compare_exchange(
                 NodeRef::leaf(existing).0,
                 NodeRef::leaf(tid).0,
@@ -671,7 +675,7 @@ impl<S: KeySource> ConcurrentHot<S> {
         // Determine the affected levels (nodes whose content or slots are
         // written) and lock them bottom-up.
         let affected = affected_levels(&plan);
-        let locked = lock_levels(&plan.stack, &affected).map_err(|()| {
+        let locked = lock_levels(&plan.stack, &affected, guard).map_err(|()| {
             self.metrics.incr(RowexCounter::LockFail);
         })?;
         let result = (|| {
@@ -684,7 +688,7 @@ impl<S: KeySource> ConcurrentHot<S> {
             }
             // Re-analyze under locks; the world may have changed before we
             // locked. The new plan must touch exactly the nodes we hold.
-            let plan2 = self.analyze(key, tid)?;
+            let plan2 = self.analyze(key, tid, guard)?;
             if !plans_compatible(&plan, &plan2) {
                 return Err(());
             }
@@ -699,8 +703,10 @@ impl<S: KeySource> ConcurrentHot<S> {
     }
 
     /// Phase A/C: descend and classify the operation. `Err` = transient
-    /// inconsistency observed (restart).
-    fn analyze(&self, key: &PaddedKey, _tid: u64) -> Result<Plan, ()> {
+    /// inconsistency observed (restart). The `_guard` parameter is a
+    /// compile-time proof that the caller pinned the epoch: every node this
+    /// descent dereferences stays live for at least as long as that pin.
+    fn analyze(&self, key: &PaddedKey, _tid: u64, _guard: &epoch::Guard) -> Result<Plan, ()> {
         let root = self.load_root();
         if root.is_null() {
             return Ok(Plan {
@@ -898,7 +904,7 @@ impl<S: KeySource> ConcurrentHot<S> {
                 // can have swapped the root pointer. Ordering: Release —
                 // publishes the new root's body; pairs with `load_root`'s
                 // Acquire.
-                self.root.store(new_root.0, Ordering::Release);
+                self.root.store(new_root.0, Ordering::Release); // pairs-with: root-publish
                 self.retire(old_node, guard);
                 return;
             }
@@ -944,7 +950,7 @@ impl<S: KeySource> ConcurrentHot<S> {
     /// that observes the new word observes the fully `fill`ed node behind it.
     fn publish(&self, plan: &Plan, level: usize, new: NodeRef, _guard: &epoch::Guard) {
         if level == 0 {
-            self.root.store(new.0, Ordering::Release);
+            self.root.store(new.0, Ordering::Release); // pairs-with: root-publish
         } else {
             let (parent, idx) = plan.stack[level - 1];
             parent.as_raw().store_value(idx, new);
@@ -1009,6 +1015,7 @@ impl<S: KeySource> ConcurrentHot<S> {
             // node memory is published here (leaf word → null), but the
             // Acquire side keeps a failed retry from re-analyzing against a
             // half-observed competing root.
+            // pairs-with: root-publish
             return match self.root.compare_exchange(
                 root.0,
                 0,
@@ -1083,13 +1090,13 @@ impl<S: KeySource> ConcurrentHot<S> {
             // (the node content is stable: it is locked and not obsolete).
             if raw.count() == 2 {
                 let survivor = raw.value(1 - idx);
-                self.publish_remove(&stack, level, survivor)?;
+                self.publish_remove(&stack, level, survivor, guard)?;
                 self.retire(raw, guard);
             } else {
                 let mut builder = Builder::decode(raw);
                 builder.remove_entry(idx);
                 let new_node = builder.encode(&self.mem);
-                self.publish_remove(&stack, level, new_node)?;
+                self.publish_remove(&stack, level, new_node, guard)?;
                 self.retire(raw, guard);
             }
             // Ordering: Relaxed — statistics counter only.
@@ -1102,17 +1109,21 @@ impl<S: KeySource> ConcurrentHot<S> {
         result
     }
 
+    /// Install the post-remove replacement. `_guard` is the caller's proof
+    /// of an active epoch pin (the parent we slot-write into is
+    /// epoch-protected).
     fn publish_remove(
         &self,
         stack: &[(NodeRef, usize)],
         level: usize,
         new: NodeRef,
+        _guard: &epoch::Guard,
     ) -> Result<(), ()> {
         if level == 0 {
             // The old root is locked and non-obsolete, so the root word
             // still points at it. Ordering: Release — publishes the
             // replacement body; pairs with `load_root`'s Acquire.
-            self.root.store(new.0, Ordering::Release);
+            self.root.store(new.0, Ordering::Release); // pairs-with: root-publish
         } else {
             let (parent, idx) = stack[level - 1];
             parent.as_raw().store_value(idx, new);
@@ -1132,8 +1143,11 @@ impl<S: KeySource> ConcurrentHot<S> {
     }
 
     /// Leaf-depth histogram. Call on a quiesced tree.
+    // epoch-exempt: quiesced-only diagnostic — the caller guarantees no
+    // concurrent writers, so nothing can be retired under the walk.
     pub fn depth_stats(&self) -> DepthStats {
         let mut stats = DepthStats::new();
+        // epoch-exempt: see depth_stats — quiesced-only inner walker.
         fn walk(r: NodeRef, depth: usize, stats: &mut DepthStats) {
             if r.is_leaf() {
                 stats.record(depth);
@@ -1220,8 +1234,14 @@ fn affected_levels(plan: &Plan) -> Vec<usize> {
 }
 
 /// Try-lock the given levels (already deepest-first). On success returns the
-/// locked nodes in acquisition order; on contention unlocks and fails.
-fn lock_levels(stack: &[(NodeRef, usize)], levels: &[usize]) -> Result<Vec<NodeRef>, ()> {
+/// locked nodes in acquisition order; on contention unlocks and fails. The
+/// `_guard` parameter is the caller's proof of an active epoch pin — the
+/// lock words we touch live in nodes that may otherwise be reclaimed.
+fn lock_levels(
+    stack: &[(NodeRef, usize)],
+    levels: &[usize],
+    _guard: &epoch::Guard,
+) -> Result<Vec<NodeRef>, ()> {
     let mut locked: Vec<NodeRef> = Vec::with_capacity(levels.len());
     for &l in levels {
         let node = stack[l].0;
@@ -1268,7 +1288,10 @@ fn backoff_spin(backoff: &mut u32) {
 }
 
 impl<S> Drop for ConcurrentHot<S> {
+    // epoch-exempt: `&mut self` proves exclusive access — no concurrent
+    // reader can hold these nodes, and nothing retires them under us.
     fn drop(&mut self) {
+        // epoch-exempt: see drop — exclusive-access teardown.
         fn free_subtree(r: NodeRef, mem: &MemCounter) {
             if r.is_node() {
                 let raw = r.as_raw();

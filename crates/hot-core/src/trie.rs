@@ -1,4 +1,7 @@
 //! The single-threaded Height Optimized Trie (Sections 3 and 4).
+//!
+//! epoch-exempt: mutation takes `&mut self` and reads run against a tree
+//! nobody reclaims concurrently — no epoch pin is ever required here.
 
 use crate::bulk::BulkLoadError;
 use crate::metrics::{Metrics, OpKind};
@@ -32,16 +35,7 @@ pub struct HotTrie<S> {
     metrics: Metrics,
 }
 
-/// Disable the fused insert fast path (differential-testing support: the
-/// fast path and the general builder path must produce identical trees).
-#[doc(hidden)]
-pub static DISABLE_INSERT_FAST_PATH: std::sync::atomic::AtomicBool =
-    std::sync::atomic::AtomicBool::new(false);
-
-#[inline]
-pub(crate) fn fast_path_enabled() -> bool {
-    !DISABLE_INSERT_FAST_PATH.load(std::sync::atomic::Ordering::Relaxed)
-}
+pub(crate) use crate::sync_shim::insert_fast_path_enabled as fast_path_enabled;
 
 impl<S: KeySource> HotTrie<S> {
     /// Create an empty trie resolving keys through `source`.

@@ -1,22 +1,21 @@
 //! Differential test: the fused insert fast path must produce *identical*
 //! trees to the general builder path, for every data set shape.
 
-use hot_core::trie::DISABLE_INSERT_FAST_PATH;
+use hot_core::sync_shim::set_disable_insert_fast_path;
 use hot_core::HotTrie;
 use hot_keys::ArenaKeySource;
 use hot_ycsb::{Dataset, DatasetKind};
 use proptest::prelude::*;
-use std::sync::atomic::Ordering;
 
 fn build(keys: &[Vec<u8>], arena: &ArenaKeySource, tids: &[u64], fast: bool) -> u64 {
-    DISABLE_INSERT_FAST_PATH.store(!fast, Ordering::Relaxed);
+    set_disable_insert_fast_path(!fast);
     let mut t = HotTrie::new(arena);
     for (k, &tid) in keys.iter().zip(tids) {
         t.insert(k, tid);
     }
     t.validate();
     let digest = t.structure_digest();
-    DISABLE_INSERT_FAST_PATH.store(false, Ordering::Relaxed);
+    set_disable_insert_fast_path(false);
     digest
 }
 

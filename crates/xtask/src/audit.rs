@@ -1,0 +1,291 @@
+//! `cargo xtask audit-unsafe` — every `unsafe` site needs a written
+//! justification.
+//!
+//! * `unsafe { ... }` blocks and `unsafe impl`s need a `// SAFETY:`
+//!   comment — on the same line or in the comment/attribute lines
+//!   immediately above.
+//! * `unsafe fn` declarations need their contract documented: a
+//!   `# Safety` doc section (or a `SAFETY:` comment) above the
+//!   declaration.
+//!
+//! This is deliberately stricter than clippy's
+//! `undocumented_unsafe_blocks` (which the workspace also enables): it
+//! covers `unsafe fn` contracts, runs in a second's time without a full
+//! build, and fails with a file:line listing. The scan runs on the shared
+//! [`lexer`](crate::lexer), so `unsafe` inside raw strings, byte literals
+//! or nested block comments never registers as a site.
+//!
+//! The per-file site counts also feed the `unsafe-budget` lint pass (see
+//! [`crate::lint::budget`]): [`count_sites`] reports how many sites a
+//! file holds so `lint/unsafe_budget.toml` can pin a per-crate total.
+
+use crate::lexer::{find_word, lex, Line};
+use std::fmt::Write as _;
+use std::path::Path;
+use std::process::ExitCode;
+
+/// Run the audit over the whole workspace.
+pub fn audit_unsafe(json: bool) -> ExitCode {
+    let root = crate::workspace_root();
+    let mut files = Vec::new();
+    // The workspace's own code. `third_party/` is vendored stand-in code we
+    // still hold to the same bar — its unsafe surface is part of the build.
+    for top in ["crates", "third_party", "tests", "examples", "src"] {
+        crate::lexer::collect_rs(&root.join(top), &mut files);
+    }
+    files.sort();
+    let mut findings = Vec::new();
+    let mut sites = 0usize;
+    for file in &files {
+        let text = match std::fs::read_to_string(file) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("audit-unsafe: cannot read {}: {e}", file.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        let rel = file.strip_prefix(&root).unwrap_or(file).to_path_buf();
+        sites += audit_file(&rel, &text, &mut findings);
+    }
+    if json {
+        // Machine-readable summary: consumed by CI and referenced from the
+        // docs instead of a hand-frozen site count.
+        println!(
+            "{{\"unsafe_sites\": {}, \"files_scanned\": {}, \"unjustified\": {}}}",
+            sites,
+            files.len(),
+            findings.len()
+        );
+    }
+    if findings.is_empty() {
+        if !json {
+            println!(
+                "audit-unsafe: {} unsafe site(s) across {} file(s), all justified",
+                sites,
+                files.len()
+            );
+        }
+        ExitCode::SUCCESS
+    } else {
+        for f in &findings {
+            eprintln!("{f}");
+        }
+        eprintln!(
+            "\naudit-unsafe: {} unjustified unsafe site(s) (of {} total). \
+             Add a `// SAFETY:` comment (blocks, impls) or a `# Safety` doc \
+             section (unsafe fns) explaining why the contract holds.",
+            findings.len(),
+            sites
+        );
+        ExitCode::FAILURE
+    }
+}
+
+/// What an `unsafe` keyword introduces.
+#[derive(Clone, Copy, PartialEq)]
+enum Site {
+    Block,
+    Impl,
+    Fn,
+}
+
+/// Scan one lexed file; push findings, return the number of sites.
+pub fn audit_file(rel: &Path, text: &str, findings: &mut Vec<String>) -> usize {
+    let lines = lex(text);
+    let mut sites = 0;
+    for (idx, line) in lines.iter().enumerate() {
+        for site_col in find_word(&line.code, "unsafe") {
+            let Some(site) = classify(&lines, idx, site_col) else {
+                continue; // `unsafe` in e.g. `unsafe_code` never matches; skip trait bounds like `unsafe trait` forward decls
+            };
+            sites += 1;
+            if !justified(&lines, idx, site) {
+                let what = match site {
+                    Site::Block => "unsafe block without a `// SAFETY:` comment",
+                    Site::Impl => "unsafe impl without a `// SAFETY:` comment",
+                    Site::Fn => {
+                        "unsafe fn without a `# Safety` doc section (or SAFETY comment)"
+                    }
+                };
+                let mut f = String::new();
+                let _ = write!(f, "{}:{}: {what}", rel.display(), idx + 1);
+                findings.push(f);
+            }
+        }
+    }
+    sites
+}
+
+/// Number of `unsafe` sites in `text` (the budget pass's currency).
+pub fn count_sites(text: &str) -> usize {
+    let lines = lex(text);
+    let mut sites = 0;
+    for (idx, line) in lines.iter().enumerate() {
+        for site_col in find_word(&line.code, "unsafe") {
+            if classify(&lines, idx, site_col).is_some() {
+                sites += 1;
+            }
+        }
+    }
+    sites
+}
+
+/// Look at the token after `unsafe` (possibly on a later line) and decide
+/// what kind of site this is. `unsafe trait` declarations are contracts on
+/// implementors, not sites, and are skipped.
+fn classify(lines: &[Line], line: usize, col: usize) -> Option<Site> {
+    let mut rest = lines[line].code[col + "unsafe".len()..].to_string();
+    let mut next_line = line + 1;
+    loop {
+        let trimmed = rest.trim_start();
+        if !trimmed.is_empty() {
+            return if trimmed.starts_with('{') {
+                Some(Site::Block)
+            } else if trimmed.starts_with("impl") {
+                Some(Site::Impl)
+            } else if trimmed.starts_with("fn") || trimmed.starts_with("extern") {
+                Some(Site::Fn)
+            } else {
+                None // `unsafe trait`, attribute fragments, macro text
+            };
+        }
+        if next_line >= lines.len() {
+            return None;
+        }
+        rest = lines[next_line].code.clone();
+        next_line += 1;
+    }
+}
+
+/// A site is justified by `SAFETY:` (any site) or `# Safety` (fns) — on
+/// the same line, or in the contiguous run of comment/attribute/blank
+/// lines directly above the site (i.e. above the item's attributes and
+/// doc block, nothing else in between).
+fn justified(lines: &[Line], line: usize, site: Site) -> bool {
+    let accept = |l: &Line| {
+        l.comment.contains("SAFETY:")
+            || (site == Site::Fn && l.comment.contains("# Safety"))
+    };
+    if accept(&lines[line]) {
+        return true;
+    }
+    let mut i = line;
+    while i > 0 {
+        i -= 1;
+        let l = &lines[i];
+        if accept(l) {
+            return true;
+        }
+        let code = l.code.trim();
+        let is_attr_or_blank = code.is_empty() || code.starts_with("#[") || code.starts_with("#![");
+        let has_comment = !l.comment.trim().is_empty();
+        if !is_attr_or_blank && !has_comment {
+            return false; // hit a real code line: the run above ended
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn findings(src: &str) -> usize {
+        let mut f = Vec::new();
+        audit_file(Path::new("t.rs"), src, &mut f);
+        f.len()
+    }
+
+    #[test]
+    fn flags_bare_block() {
+        assert_eq!(findings("fn f() { unsafe { g() } }"), 1);
+    }
+
+    #[test]
+    fn accepts_same_line_and_preceding_comment() {
+        assert_eq!(findings("// SAFETY: fine\nlet x = unsafe { g() };"), 0);
+        assert_eq!(findings("let x = unsafe { g() }; // SAFETY: fine"), 0);
+    }
+
+    #[test]
+    fn comment_must_be_adjacent() {
+        assert_eq!(findings("// SAFETY: stale\nlet y = 1;\nlet x = unsafe { g() };"), 1);
+    }
+
+    #[test]
+    fn unsafe_fn_needs_safety_docs() {
+        assert_eq!(findings("unsafe fn f() {}"), 1);
+        assert_eq!(findings("/// # Safety\n/// caller checks\nunsafe fn f() {}"), 0);
+        // Attributes between docs and fn are fine.
+        assert_eq!(
+            findings("/// # Safety\n/// caller checks\n#[inline]\npub unsafe fn f() {}"),
+            0
+        );
+    }
+
+    #[test]
+    fn unsafe_impl_needs_comment() {
+        assert_eq!(findings("unsafe impl Send for T {}"), 1);
+        assert_eq!(findings("// SAFETY: T owns its data\nunsafe impl Send for T {}"), 0);
+    }
+
+    #[test]
+    fn strings_and_comments_are_not_sites() {
+        assert_eq!(findings("let s = \"unsafe { }\";"), 0);
+        assert_eq!(findings("// unsafe { } in a comment\nlet s = 1;"), 0);
+        assert_eq!(findings("let s = r#\"unsafe { }\"#;"), 0);
+    }
+
+    // The blind-spot regression suite: every tricky literal form that can
+    // desync a naive byte scanner, each hiding an `unsafe { ... }` inside
+    // the literal (never a site) and followed by a real, unjustified
+    // `unsafe` block on the next statement (always exactly one finding —
+    // proving the scanner is still synchronized *after* the literal).
+    #[test]
+    fn raw_string_does_not_hide_or_invent_sites() {
+        assert_eq!(findings("let s = r#\"unsafe { x }\"#;\nlet y = unsafe { g() };"), 1);
+        assert_eq!(findings("let s = r##\"quote \"# unsafe\"##;\nlet y = unsafe { g() };"), 1);
+    }
+
+    #[test]
+    fn byte_and_raw_byte_strings_stay_synchronized() {
+        assert_eq!(findings("let s = b\"unsafe { x }\";\nlet y = unsafe { g() };"), 1);
+        assert_eq!(findings("let s = br#\"unsafe \" x\"#;\nlet y = unsafe { g() };"), 1);
+    }
+
+    #[test]
+    fn quote_byte_literals_stay_synchronized() {
+        // `b'"'` — a naive scanner takes the quote as a string opener and
+        // swallows the rest of the file.
+        assert_eq!(findings("let q = b'\"';\nlet y = unsafe { g() };"), 1);
+        assert_eq!(findings("let q = b'\\'';\nlet y = unsafe { g() };"), 1);
+        assert_eq!(findings("let q = '\"';\nlet y = unsafe { g() };"), 1);
+    }
+
+    #[test]
+    fn nested_block_comments_stay_synchronized() {
+        assert_eq!(
+            findings("/* outer /* unsafe { x } */ still */\nlet y = unsafe { g() };"),
+            1
+        );
+    }
+
+    #[test]
+    fn unsafe_trait_is_not_a_site() {
+        assert_eq!(findings("unsafe trait Zeroable {}"), 0);
+    }
+
+    #[test]
+    fn lifetimes_do_not_confuse_the_lexer() {
+        assert_eq!(
+            findings("fn f<'a>(x: &'a u8) -> &'a u8 { x }\n// SAFETY: ok\nlet y = unsafe { g() };"),
+            0
+        );
+    }
+
+    #[test]
+    fn count_sites_counts_justified_and_not() {
+        let src = "// SAFETY: ok\nlet a = unsafe { g() };\nlet b = unsafe { h() };\n";
+        assert_eq!(count_sites(src), 2);
+    }
+}

@@ -1,0 +1,183 @@
+//! Epoch-pin discipline in `hot-core`.
+//!
+//! A node freed by the ROWEX writer is only reclaimed after every epoch
+//! pinned at the free has been released — so *dereferencing* an
+//! epoch-protected pointer is only sound while some pin covers the
+//! access. The deref surface in this codebase is `NodePtr::as_raw()`
+//! (every `&RawNode` flows from it), so the rule is textual: any
+//! `hot-core` function whose body calls `.as_raw(` must visibly hold the
+//! protection, one of:
+//!
+//! * a `Guard` in its signature (the caller's pin flows through),
+//! * a `pin(` call in its body (it pins itself),
+//! * a function-level `// epoch-exempt: <reason>` comment (signature or
+//!   the contiguous comment/attribute block above it),
+//! * a file-level `//! epoch-exempt: <reason>` doc line (whole files
+//!   whose access is single-threaded by construction — the `HotTrie`
+//!   paths that take `&mut self` or own the tree).
+//!
+//! `#[cfg(test)]` mods and `tests/`-dir files are not scanned.
+
+use super::{Diag, SourceFile};
+use crate::lexer::find_word;
+
+const PASS: &str = "epoch";
+
+/// Run the pass.
+pub fn run(sources: &[SourceFile], diags: &mut Vec<Diag>) {
+    for sf in sources {
+        if !sf.rel.starts_with("crates/hot-core/src/") || sf.is_test_context {
+            continue;
+        }
+        // File-level exemption: an inner doc line carrying the marker.
+        let file_exempt = sf.file.lines.iter().any(|l| {
+            let c = l.comment.trim_start();
+            c.starts_with("//!") && c.contains("epoch-exempt:")
+        });
+        if file_exempt {
+            continue;
+        }
+        for f in &sf.file.fns {
+            if sf.is_test_line(f.sig_start) {
+                continue;
+            }
+            let derefs = (f.body_start..=f.body_end)
+                .filter(|&l| !sf.is_test_line(l))
+                .any(|l| sf.file.lines[l].code.contains(".as_raw("));
+            if !derefs {
+                continue;
+            }
+            let sig_has_guard = (f.sig_start..=f.body_start)
+                .any(|l| !find_word(&sf.file.lines[l].code, "Guard").is_empty());
+            if sig_has_guard {
+                continue;
+            }
+            let pins = (f.body_start..=f.body_end).any(|l| calls_pin(&sf.file.lines[l].code));
+            if pins {
+                continue;
+            }
+            if fn_exempt(sf, f.sig_start, f.body_start) {
+                continue;
+            }
+            diags.push(Diag {
+                file: sf.rel.clone(),
+                line: f.sig_start + 1,
+                pass: PASS,
+                msg: format!(
+                    "`{}` dereferences epoch-protected pointers (.as_raw) but neither takes a \
+                     &Guard, pins an epoch itself, nor carries an `// epoch-exempt:` \
+                     justification",
+                    f.name
+                ),
+            });
+        }
+    }
+}
+
+/// A word-bounded `pin(` call on this code line (`spin(` or `unpin(`
+/// must not satisfy the rule).
+fn calls_pin(code: &str) -> bool {
+    find_word(code, "pin")
+        .iter()
+        .any(|&at| code[at + "pin".len()..].starts_with('('))
+}
+
+/// Function-level exemption: `epoch-exempt:` in a comment anywhere in the
+/// signature lines, or in the contiguous comment/attribute/blank run
+/// directly above the declaration (the item's doc block).
+fn fn_exempt(sf: &SourceFile, sig_start: usize, body_start: usize) -> bool {
+    let marked = |l: usize| sf.file.lines[l].comment.contains("epoch-exempt:");
+    if (sig_start..=body_start).any(marked) {
+        return true;
+    }
+    let mut i = sig_start;
+    while i > 0 {
+        i -= 1;
+        if marked(i) {
+            return true;
+        }
+        let l = &sf.file.lines[i];
+        let code = l.code.trim();
+        let is_attr_or_blank = code.is_empty() || code.starts_with("#[") || code.starts_with("#![");
+        let has_comment = !l.comment.trim().is_empty();
+        if !is_attr_or_blank && !has_comment {
+            return false;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lint::tests::fixture;
+
+    fn run_on(rel: &str, src: &str) -> Vec<String> {
+        let sources = vec![fixture(rel, src)];
+        let mut diags = Vec::new();
+        run(&sources, &mut diags);
+        diags.iter().map(|d| d.render()).collect()
+    }
+
+    const REL: &str = "crates/hot-core/src/sync.rs";
+
+    #[test]
+    fn seeded_unguarded_deref_is_flagged() {
+        let diags = run_on(
+            REL,
+            "fn walk(p: NodePtr) -> u8 {\n    let raw = p.as_raw();\n    raw.height()\n}\n",
+        );
+        assert_eq!(diags.len(), 1);
+        assert_eq!(
+            diags[0],
+            "crates/hot-core/src/sync.rs:1: [epoch] `walk` dereferences epoch-protected \
+             pointers (.as_raw) but neither takes a &Guard, pins an epoch itself, nor \
+             carries an `// epoch-exempt:` justification"
+        );
+    }
+
+    #[test]
+    fn guard_parameter_satisfies_the_rule() {
+        let diags = run_on(
+            REL,
+            "fn walk(p: NodePtr, _guard: &epoch::Guard) -> u8 {\n    p.as_raw().height()\n}\n",
+        );
+        assert!(diags.is_empty(), "got: {}", diags[0]);
+    }
+
+    #[test]
+    fn pinning_inside_the_body_satisfies_the_rule() {
+        let diags = run_on(
+            REL,
+            "fn walk(p: NodePtr) -> u8 {\n    let guard = epoch::pin();\n    p.as_raw().height()\n}\n",
+        );
+        assert!(diags.is_empty(), "got: {}", diags[0]);
+    }
+
+    #[test]
+    fn function_level_exemption_satisfies_the_rule() {
+        let diags = run_on(
+            REL,
+            "/// Docs.\n// epoch-exempt: quiesced-only diagnostic walk\nfn depth_stats(p: NodePtr) -> u8 {\n    p.as_raw().height()\n}\n",
+        );
+        assert!(diags.is_empty(), "got: {}", diags[0]);
+    }
+
+    #[test]
+    fn file_level_exemption_covers_every_fn() {
+        let diags = run_on(
+            "crates/hot-core/src/trie.rs",
+            "//! Single-threaded trie.\n//! epoch-exempt: &mut self — no concurrent reclamation\nfn walk(p: NodePtr) -> u8 {\n    p.as_raw().height()\n}\n",
+        );
+        assert!(diags.is_empty(), "got: {}", diags[0]);
+    }
+
+    #[test]
+    fn only_hot_core_src_is_scanned() {
+        let diags = run_on(
+            "crates/hot-bench/src/lib.rs",
+            "fn walk(p: NodePtr) -> u8 {\n    p.as_raw().height()\n}\n",
+        );
+        assert!(diags.is_empty());
+    }
+}

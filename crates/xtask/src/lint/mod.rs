@@ -1,0 +1,225 @@
+//! `cargo xtask lint` — the workspace static-analysis suite.
+//!
+//! Four project-specific passes, all running on the shared
+//! [`lexer`](crate::lexer) (pure text analysis, no build, a few hundred
+//! milliseconds for the whole workspace):
+//!
+//! * [`atomics`] — the atomics-protocol conformance pass: every
+//!   `Ordering::*` call site must live in the sync layer or be manifested
+//!   in `lint/atomics.toml`; non-Relaxed sites need a machine-readable
+//!   `// pairs-with: <group>` annotation and every group must be
+//!   symmetric (an acquire side and a release side); `SeqCst` is banned
+//!   everywhere.
+//! * [`hot_paths`] — allocation freedom on the descent paths named in
+//!   `lint/hot_paths.toml` (allocating constructs are denied, with a
+//!   per-function allowlist for documented cold setup edges).
+//! * [`epoch`] — epoch-pin discipline in `hot-core`: a function that
+//!   dereferences an epoch-protected pointer must take a `&Guard`, pin
+//!   itself, or carry an `// epoch-exempt:` justification.
+//! * [`budget`] — the per-crate `unsafe` site budget pinned in
+//!   `lint/unsafe_budget.toml`: new unsafe must be consciously budgeted.
+//!
+//! Diagnostics print as `file:line: [pass] message` (the format the CI
+//! problem matcher consumes); `--json` emits the same findings as a
+//! machine-readable object.
+//!
+//! `third_party/` is deliberately **outside** the scan: it is vendored
+//! stand-in code (the loom shim runs everything at `SeqCst` internally by
+//! design) and is held to the audit-unsafe bar instead. The budget pass
+//! is the exception — its per-crate counts cover the vendored crates too,
+//! because their unsafe surface is part of the build.
+
+pub mod atomics;
+pub mod budget;
+pub mod epoch;
+pub mod hot_paths;
+
+use crate::lexer::LexedFile;
+use std::path::Path;
+use std::process::ExitCode;
+
+/// One lint finding.
+pub struct Diag {
+    /// Workspace-relative path (forward slashes).
+    pub file: String,
+    /// 1-based line number (0 for file/manifest-level findings).
+    pub line: usize,
+    /// Which pass produced it.
+    pub pass: &'static str,
+    /// What went wrong and how to fix it.
+    pub msg: String,
+}
+
+impl Diag {
+    fn render(&self) -> String {
+        format!("{}:{}: [{}] {}", self.file, self.line, self.pass, self.msg)
+    }
+}
+
+/// One scanned workspace source file.
+pub struct SourceFile {
+    /// Workspace-relative path with forward slashes.
+    pub rel: String,
+    /// The lexed file with its structural passes.
+    pub file: LexedFile,
+    /// Whether the file lives under a `tests/`, `benches/` or `examples/`
+    /// directory (held to a looser bar than library code).
+    pub is_test_context: bool,
+}
+
+impl SourceFile {
+    /// Whether `line` (0-based) is test scaffolding — either the whole
+    /// file is test context or the line sits in a `#[cfg(test)] mod`.
+    pub fn is_test_line(&self, line: usize) -> bool {
+        self.is_test_context || self.file.in_test.get(line).copied().unwrap_or(false)
+    }
+}
+
+/// Load and lex the lintable workspace sources: everything under
+/// `crates/` plus the umbrella crate's root `src/`, `tests/` and
+/// `examples/`. `third_party/` is excluded by design (see module docs).
+pub fn load_sources(root: &Path) -> Result<Vec<SourceFile>, String> {
+    let mut paths = Vec::new();
+    for top in ["crates", "src", "tests", "examples"] {
+        crate::lexer::collect_rs(&root.join(top), &mut paths);
+    }
+    paths.sort();
+    let mut out = Vec::new();
+    for path in paths {
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        let is_test_context = rel
+            .split('/')
+            .any(|seg| matches!(seg, "tests" | "benches" | "examples"));
+        out.push(SourceFile { rel, file: LexedFile::new(&text), is_test_context });
+    }
+    Ok(out)
+}
+
+/// Read one manifest under `lint/`, tolerating a missing file only when
+/// `required` is false.
+fn load_manifest(root: &Path, name: &str) -> Result<Vec<crate::toml::Table>, String> {
+    let path = root.join("lint").join(name);
+    let text = std::fs::read_to_string(&path)
+        .map_err(|e| format!("lint/{name}: cannot read: {e}"))?;
+    crate::toml::parse(&text).map_err(|e| format!("lint/{name}: {e}"))
+}
+
+/// Run all four passes over the workspace; returns the findings.
+pub fn run_all(root: &Path) -> Result<Vec<Diag>, String> {
+    let sources = load_sources(root)?;
+    let mut diags = Vec::new();
+
+    let atomics_manifest = load_manifest(root, "atomics.toml")?;
+    atomics::run(&sources, &atomics_manifest, &mut diags)?;
+
+    let hot_manifest = load_manifest(root, "hot_paths.toml")?;
+    hot_paths::run(&sources, &hot_manifest, &mut diags)?;
+
+    epoch::run(&sources, &mut diags);
+
+    let budget_manifest = load_manifest(root, "unsafe_budget.toml")?;
+    budget::run(root, &budget_manifest, &mut diags)?;
+
+    // Stable presentation order: by file, then line, then pass.
+    diags.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.pass).cmp(&(b.file.as_str(), b.line, b.pass))
+    });
+    Ok(diags)
+}
+
+/// The `cargo xtask lint [--json]` entry point.
+pub fn lint(json: bool) -> ExitCode {
+    let root = crate::workspace_root();
+    let diags = match run_all(&root) {
+        Ok(d) => d,
+        Err(e) => {
+            // Infrastructure errors (unreadable file, malformed manifest)
+            // fail the run with a single synthetic finding so CI still
+            // gets the machine-readable shape.
+            if json {
+                println!(
+                    "{{\"findings\": [{{\"file\": \"{}\", \"line\": 0, \"pass\": \"driver\", \"message\": \"{}\"}}], \"count\": 1}}",
+                    crate::json::escape("lint"),
+                    crate::json::escape(&e)
+                );
+            } else {
+                eprintln!("lint: {e}");
+            }
+            return ExitCode::FAILURE;
+        }
+    };
+    if json {
+        let mut out = String::from("{\"findings\": [");
+        for (i, d) in diags.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!(
+                "{{\"file\": \"{}\", \"line\": {}, \"pass\": \"{}\", \"message\": \"{}\"}}",
+                crate::json::escape(&d.file),
+                d.line,
+                d.pass,
+                crate::json::escape(&d.msg)
+            ));
+        }
+        out.push_str(&format!("], \"count\": {}}}", diags.len()));
+        println!("{out}");
+    }
+    if diags.is_empty() {
+        if !json {
+            println!("lint: all four passes clean (atomics, hot-path, epoch, unsafe-budget)");
+        }
+        ExitCode::SUCCESS
+    } else {
+        for d in &diags {
+            eprintln!("{}", d.render());
+        }
+        eprintln!("\nlint: {} finding(s). See DESIGN.md §15 for the protocol rules, the manifest formats and the annotation grammar.", diags.len());
+        ExitCode::FAILURE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Build a single-file fixture workspace source in-memory.
+    pub(crate) fn fixture(rel: &str, src: &str) -> SourceFile {
+        SourceFile {
+            rel: rel.to_string(),
+            file: LexedFile::new(src),
+            is_test_context: false,
+        }
+    }
+
+    #[test]
+    fn diags_render_in_problem_matcher_shape() {
+        let d = Diag {
+            file: "crates/hot-core/src/sync.rs".into(),
+            line: 42,
+            pass: "atomics",
+            msg: "naked SeqCst".into(),
+        };
+        assert_eq!(
+            d.render(),
+            "crates/hot-core/src/sync.rs:42: [atomics] naked SeqCst"
+        );
+    }
+
+    #[test]
+    fn the_workspace_itself_lints_clean() {
+        // The clean-workspace smoke: the real tree, all four passes.
+        let root = crate::workspace_root();
+        let diags = run_all(&root).expect("lint infrastructure runs");
+        let rendered: Vec<String> = diags.iter().map(Diag::render).collect();
+        assert!(rendered.is_empty(), "workspace has lint findings:\n{}", rendered.join("\n"));
+    }
+}

@@ -1,61 +1,35 @@
 //! Workspace automation, invoked as `cargo xtask <command>` (the alias
-//! lives in `.cargo/config.toml`).
+//! lives in `.cargo/config.toml`). Everything here is dependency-free on
+//! purpose — the build environment has no crates.io access, so the
+//! commands are built from a shared hand-rolled Rust lexer
+//! ([`lexer`]), a mini JSON reader ([`json`]) and a mini TOML reader
+//! ([`toml`]) instead of syn/serde.
 //!
-//! ## `audit-unsafe`
-//!
-//! A custom lint backing the CI `unsafe-audit` job: every `unsafe` site in
-//! the workspace's own sources must carry a written justification.
-//!
-//! * `unsafe { ... }` blocks and `unsafe impl`s need a `// SAFETY:`
-//!   comment — on the same line or in the comment/attribute lines
-//!   immediately above.
-//! * `unsafe fn` declarations need their contract documented: a
-//!   `# Safety` doc section (or a `SAFETY:` comment) above the
-//!   declaration.
-//!
-//! This is deliberately stricter than clippy's
-//! `undocumented_unsafe_blocks` (which the workspace also enables): it
-//! covers `unsafe fn` contracts, runs in a second's time without a full
-//! build, and fails with a file:line listing. The scanner is a small
-//! lexer, not a parser: it strips comments/strings/lifetimes, then
-//! classifies each remaining `unsafe` keyword by the next token.
-//! With `--json`, the summary is a machine-readable object
-//! (`{"unsafe_sites": N, "files_scanned": M, "unjustified": K}`) so docs
-//! and CI never hard-code a site count that drifts.
-//!
-//! ## `bench-check`
-//!
-//! The CI perf-regression gate. Runs the fig8 smoke benchmark
-//! (`--keys 50000 --ops 50000 --batch 8 --bulk --ooo`) in a scratch working
-//! directory (`target/bench-check/`, so the checked-in `results/` files
-//! are never clobbered). Because a 50 k-op smoke cell is noisy on shared
-//! hosts, the smoke runs `BENCH_CHECK_RUNS` times (default 3) and the two
-//! sides of the comparison take opposite extremes: `bench-check --update`
-//! records each `*_mops` field's WORST observation as the committed
-//! baseline under `results/baselines/` — a floor the build demonstrably
-//! clears even on a bad scheduling day — while a check judges each field
-//! by its BEST observation. A field fails only when every fresh pass
-//! lands below the floor by more than the tolerance — 25% by default,
-//! overridable via the `BENCH_CHECK_TOLERANCE` env var (e.g. `0.40`);
-//! only downside deviations fail, speedups are fine. Real code
-//! regressions are persistent across passes, so they fall through the
-//! floor; scheduler hiccups do not survive the max.
-//!
-//! ## `verify-no-metrics`
-//!
-//! Proves the `metrics` feature is zero-cost when disabled, structurally:
-//! builds the fig8 binary *with* the feature and asserts the
-//! `hot_metrics` crate name is present in the binary (sanity-checking the
-//! probe), then builds it *without* and asserts the name is absent — the
-//! instrumentation crate never even links into a default build.
+//! * [`lint`] (`cargo xtask lint [--json]`) — the four-pass workspace
+//!   static-analysis suite: atomics-protocol conformance, hot-path
+//!   allocation freedom, epoch-pin discipline, per-crate unsafe budgets.
+//! * [`audit`] (`cargo xtask audit-unsafe [--json]`) — every `unsafe`
+//!   site must carry a written justification.
+//! * [`bench_check`] (`cargo xtask bench-check [--update]`) — the CI
+//!   perf-regression gate over the fig8 smoke's BENCH_*.json reports.
+//! * [`no_metrics`] (`cargo xtask verify-no-metrics`) — structural proof
+//!   that the `metrics` feature is zero-cost when disabled.
 
-use std::fmt::Write as _;
+mod audit;
+mod bench_check;
+mod json;
+mod lexer;
+mod lint;
+mod no_metrics;
+mod toml;
+
 use std::path::{Path, PathBuf};
-use std::process::{Command, ExitCode};
+use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: cargo xtask <command>\n\navailable commands:\n  \
+         lint [--json]           run the workspace lint suite (atomics / hot-path / epoch / unsafe-budget)\n  \
          audit-unsafe [--json]   check every unsafe site for a SAFETY justification\n  \
          bench-check [--update]  run the fig8 smoke bench and gate on results/baselines/\n  \
          verify-no-metrics       assert the default build links no hot_metrics code"
@@ -66,9 +40,10 @@ fn usage() -> ExitCode {
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     match args.next().as_deref() {
-        Some("audit-unsafe") => audit_unsafe(args.next().as_deref() == Some("--json")),
-        Some("bench-check") => bench_check(args.next().as_deref() == Some("--update")),
-        Some("verify-no-metrics") => verify_no_metrics(),
+        Some("lint") => lint::lint(args.next().as_deref() == Some("--json")),
+        Some("audit-unsafe") => audit::audit_unsafe(args.next().as_deref() == Some("--json")),
+        Some("bench-check") => bench_check::bench_check(args.next().as_deref() == Some("--update")),
+        Some("verify-no-metrics") => no_metrics::verify_no_metrics(),
         Some(other) => {
             eprintln!("unknown xtask command: {other}\n");
             usage()
@@ -79,1019 +54,11 @@ fn main() -> ExitCode {
 
 /// Workspace root: xtask always runs from the workspace (cargo sets the
 /// manifest dir of this crate at `<root>/crates/xtask`).
-fn workspace_root() -> PathBuf {
+pub fn workspace_root() -> PathBuf {
     let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
     manifest
         .parent()
         .and_then(Path::parent)
         .expect("crates/xtask has a workspace root two levels up")
         .to_path_buf()
-}
-
-fn audit_unsafe(json: bool) -> ExitCode {
-    let root = workspace_root();
-    let mut files = Vec::new();
-    // The workspace's own code. `third_party/` is vendored stand-in code we
-    // still hold to the same bar — its unsafe surface is part of the build.
-    for top in ["crates", "third_party", "tests", "examples", "src"] {
-        collect_rs(&root.join(top), &mut files);
-    }
-    files.sort();
-    let mut findings = Vec::new();
-    let mut sites = 0usize;
-    for file in &files {
-        let text = match std::fs::read_to_string(file) {
-            Ok(t) => t,
-            Err(e) => {
-                eprintln!("audit-unsafe: cannot read {}: {e}", file.display());
-                return ExitCode::FAILURE;
-            }
-        };
-        let rel = file.strip_prefix(&root).unwrap_or(file).to_path_buf();
-        sites += audit_file(&rel, &text, &mut findings);
-    }
-    if json {
-        // Machine-readable summary: consumed by CI and referenced from the
-        // docs instead of a hand-frozen site count.
-        println!(
-            "{{\"unsafe_sites\": {}, \"files_scanned\": {}, \"unjustified\": {}}}",
-            sites,
-            files.len(),
-            findings.len()
-        );
-    }
-    if findings.is_empty() {
-        if !json {
-            println!(
-                "audit-unsafe: {} unsafe site(s) across {} file(s), all justified",
-                sites,
-                files.len()
-            );
-        }
-        ExitCode::SUCCESS
-    } else {
-        for f in &findings {
-            eprintln!("{f}");
-        }
-        eprintln!(
-            "\naudit-unsafe: {} unjustified unsafe site(s) (of {} total). \
-             Add a `// SAFETY:` comment (blocks, impls) or a `# Safety` doc \
-             section (unsafe fns) explaining why the contract holds.",
-            findings.len(),
-            sites
-        );
-        ExitCode::FAILURE
-    }
-}
-
-fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
-    let Ok(entries) = std::fs::read_dir(dir) else {
-        return;
-    };
-    for entry in entries.flatten() {
-        let path = entry.path();
-        if path.is_dir() {
-            // `target` is build output; nothing else is excluded.
-            if path.file_name().is_some_and(|n| n == "target") {
-                continue;
-            }
-            collect_rs(&path, out);
-        } else if path.extension().is_some_and(|e| e == "rs") {
-            out.push(path);
-        }
-    }
-}
-
-/// One source line split into code and comment text.
-#[derive(Default)]
-struct Line {
-    code: String,
-    comment: String,
-}
-
-/// Strip strings and split comments from code, line by line. Understands
-/// `//`, `/* */` (nested), string/char/byte literals and raw strings; the
-/// contents of strings are blanked so `"unsafe"` in a string is not a
-/// site, while comment text is preserved for the SAFETY scan.
-fn lex(text: &str) -> Vec<Line> {
-    let mut lines = vec![Line::default()];
-    let bytes = text.as_bytes();
-    let mut i = 0;
-    let mut block_comment_depth = 0usize;
-    while i < bytes.len() {
-        let c = bytes[i] as char;
-        if c == '\n' {
-            lines.push(Line::default());
-            i += 1;
-            continue;
-        }
-        let cur = lines.last_mut().expect("at least one line");
-        if block_comment_depth > 0 {
-            if bytes[i..].starts_with(b"*/") {
-                block_comment_depth -= 1;
-                i += 2;
-            } else if bytes[i..].starts_with(b"/*") {
-                block_comment_depth += 1;
-                i += 2;
-            } else {
-                cur.comment.push(c);
-                i += 1;
-            }
-            continue;
-        }
-        if bytes[i..].starts_with(b"//") {
-            // Line comment (incl. doc comments): consume to end of line.
-            let end = bytes[i..]
-                .iter()
-                .position(|&b| b == b'\n')
-                .map_or(bytes.len(), |p| i + p);
-            cur.comment.push_str(&text[i..end]);
-            i = end;
-            continue;
-        }
-        if bytes[i..].starts_with(b"/*") {
-            block_comment_depth += 1;
-            i += 2;
-            continue;
-        }
-        if c == '"' || (c == 'r' && is_raw_string_start(&bytes[i..])) || bytes[i..].starts_with(b"b\"") {
-            i = skip_string(text, i);
-            cur.code.push_str("\"\"");
-            continue;
-        }
-        if c == '\'' {
-            // Char literal or lifetime. A lifetime is `'` + ident not
-            // followed by a closing quote.
-            if let Some(end) = char_literal_end(bytes, i) {
-                cur.code.push_str("' '");
-                i = end;
-                continue;
-            }
-            cur.code.push(c);
-            i += 1;
-            continue;
-        }
-        cur.code.push(c);
-        i += 1;
-    }
-    lines
-}
-
-fn is_raw_string_start(rest: &[u8]) -> bool {
-    // r", r#", r##"… (also br" via the b branch falling through here is
-    // fine: `b` lands in code, `r"` is matched).
-    let mut j = 1;
-    while j < rest.len() && rest[j] == b'#' {
-        j += 1;
-    }
-    j < rest.len() && rest[j] == b'"'
-}
-
-/// Byte index just past the string literal starting at `start`.
-fn skip_string(text: &str, start: usize) -> usize {
-    let bytes = text.as_bytes();
-    let mut i = start;
-    if bytes[i] == b'b' {
-        i += 1;
-    }
-    if bytes[i] == b'r' {
-        i += 1;
-        let mut hashes = 0;
-        while bytes[i] == b'#' {
-            hashes += 1;
-            i += 1;
-        }
-        debug_assert_eq!(bytes[i], b'"');
-        i += 1;
-        let closer = format!("\"{}", "#".repeat(hashes));
-        return text[i..]
-            .find(&closer)
-            .map_or(text.len(), |p| i + p + closer.len());
-    }
-    debug_assert_eq!(bytes[i], b'"');
-    i += 1;
-    while i < bytes.len() {
-        match bytes[i] {
-            b'\\' => i += 2,
-            b'"' => return i + 1,
-            _ => i += 1,
-        }
-    }
-    text.len()
-}
-
-/// Byte index just past a char literal at `start`, or `None` if this is a
-/// lifetime.
-fn char_literal_end(bytes: &[u8], start: usize) -> Option<usize> {
-    let mut i = start + 1;
-    if i >= bytes.len() {
-        return None;
-    }
-    if bytes[i] == b'\\' {
-        i += 2;
-        while i < bytes.len() && bytes[i] != b'\'' {
-            i += 1; // \u{...}
-        }
-        return (i < bytes.len()).then_some(i + 1);
-    }
-    // `'x'` is a char; `'x` (no closing quote right after one char-ish
-    // token) is a lifetime.
-    let ch_len = utf8_len(bytes[i]);
-    i += ch_len;
-    (i < bytes.len() && bytes[i] == b'\'').then_some(i + 1)
-}
-
-fn utf8_len(first: u8) -> usize {
-    match first {
-        b if b < 0x80 => 1,
-        b if b >= 0xF0 => 4,
-        b if b >= 0xE0 => 3,
-        _ => 2,
-    }
-}
-
-/// What an `unsafe` keyword introduces.
-#[derive(Clone, Copy, PartialEq)]
-enum Site {
-    Block,
-    Impl,
-    Fn,
-}
-
-/// Scan one lexed file; push findings, return the number of sites.
-fn audit_file(rel: &Path, text: &str, findings: &mut Vec<String>) -> usize {
-    let lines = lex(text);
-    let mut sites = 0;
-    for (idx, line) in lines.iter().enumerate() {
-        for site_col in find_unsafe_keywords(&line.code) {
-            let Some(site) = classify(&lines, idx, site_col) else {
-                continue; // `unsafe` in e.g. `unsafe_code` never matches; skip trait bounds like `unsafe trait` forward decls
-            };
-            sites += 1;
-            if !justified(&lines, idx, site_col, site) {
-                let what = match site {
-                    Site::Block => "unsafe block without a `// SAFETY:` comment",
-                    Site::Impl => "unsafe impl without a `// SAFETY:` comment",
-                    Site::Fn => {
-                        "unsafe fn without a `# Safety` doc section (or SAFETY comment)"
-                    }
-                };
-                let mut f = String::new();
-                let _ = write!(f, "{}:{}: {what}", rel.display(), idx + 1);
-                findings.push(f);
-            }
-        }
-    }
-    sites
-}
-
-/// Column offsets of `unsafe` keywords (word-bounded) in a code line.
-fn find_unsafe_keywords(code: &str) -> Vec<usize> {
-    let mut out = Vec::new();
-    let bytes = code.as_bytes();
-    let mut from = 0;
-    while let Some(p) = code[from..].find("unsafe") {
-        let at = from + p;
-        let before_ok = at == 0 || !is_ident_char(bytes[at - 1]);
-        let after = at + "unsafe".len();
-        let after_ok = after >= bytes.len() || !is_ident_char(bytes[after]);
-        if before_ok && after_ok {
-            out.push(at);
-        }
-        from = after;
-    }
-    out
-}
-
-fn is_ident_char(b: u8) -> bool {
-    b.is_ascii_alphanumeric() || b == b'_'
-}
-
-/// Look at the token after `unsafe` (possibly on a later line) and decide
-/// what kind of site this is. `unsafe trait` declarations are contracts on
-/// implementors, not sites, and are skipped.
-fn classify(lines: &[Line], line: usize, col: usize) -> Option<Site> {
-    let mut rest = lines[line].code[col + "unsafe".len()..].to_string();
-    let mut next_line = line + 1;
-    loop {
-        let trimmed = rest.trim_start();
-        if !trimmed.is_empty() {
-            return if trimmed.starts_with('{') {
-                Some(Site::Block)
-            } else if trimmed.starts_with("impl") {
-                Some(Site::Impl)
-            } else if trimmed.starts_with("fn") || trimmed.starts_with("extern") {
-                Some(Site::Fn)
-            } else {
-                None // `unsafe trait`, attribute fragments, macro text
-            };
-        }
-        if next_line >= lines.len() {
-            return None;
-        }
-        rest = lines[next_line].code.clone();
-        next_line += 1;
-    }
-}
-
-/// A site is justified by `SAFETY:` (any site) or `# Safety` (fns) — on
-/// the same line, or in the contiguous run of comment/attribute/blank
-/// lines directly above the site (i.e. above the item's attributes and
-/// doc block, nothing else in between).
-fn justified(lines: &[Line], line: usize, _col: usize, site: Site) -> bool {
-    let accept = |l: &Line| {
-        l.comment.contains("SAFETY:")
-            || (site == Site::Fn && l.comment.contains("# Safety"))
-    };
-    if accept(&lines[line]) {
-        return true;
-    }
-    let mut i = line;
-    while i > 0 {
-        i -= 1;
-        let l = &lines[i];
-        if accept(l) {
-            return true;
-        }
-        let code = l.code.trim();
-        let is_attr_or_blank = code.is_empty() || code.starts_with("#[") || code.starts_with("#![");
-        let has_comment = !l.comment.trim().is_empty();
-        if !is_attr_or_blank && !has_comment {
-            return false; // hit a real code line: the run above ended
-        }
-    }
-    false
-}
-
-// ---------------------------------------------------------------------------
-// bench-check: the perf-regression gate over BENCH_*.json
-// ---------------------------------------------------------------------------
-
-/// The smoke parameters: small enough for CI, large enough that the trie
-/// leaves its root-only regime on every data set.
-const SMOKE_ARGS: &[&str] = &[
-    "--keys", "50000", "--ops", "50000", "--batch", "8", "--bulk", "--threads", "1,2", "--ooo",
-];
-
-/// The JSON reports the fig8 smoke produces and gates on.
-const BENCH_FILES: &[&str] = &[
-    "BENCH_batch.json",
-    "BENCH_scan.json",
-    "BENCH_bulk.json",
-    "BENCH_ooo.json",
-];
-
-fn bench_check(update: bool) -> ExitCode {
-    let root = workspace_root();
-    let scratch = root.join("target").join("bench-check");
-    let fresh_dir = scratch.join("results");
-    let baseline_dir = root.join("results").join("baselines");
-    if let Err(e) = std::fs::create_dir_all(&scratch) {
-        eprintln!("bench-check: cannot create {}: {e}", scratch.display());
-        return ExitCode::FAILURE;
-    }
-
-    // A single 50 k-op smoke cell times a few tens of milliseconds — on a
-    // busy/shared host that is 25–35% noisy run-to-run, which would flake a
-    // 25% gate on a single draw. So the smoke runs N times and the two
-    // sides of the comparison take opposite extremes: the committed
-    // baseline (`--update`) keeps each field's WORST observation — a floor
-    // the build demonstrably clears even on a bad scheduling day — while a
-    // check judges each field by its BEST observation. Real code
-    // regressions are persistent: they drag every pass down and fall
-    // through the floor; scheduler hiccups do not survive the max.
-    let runs = std::env::var("BENCH_CHECK_RUNS")
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-        .filter(|&n| n >= 1)
-        .unwrap_or(3);
-
-    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".into());
-    // (file name, [(row key, [(field, value)])]) under max / min folds.
-    let mut best: BestTable = Vec::new();
-    let mut floor: BestTable = Vec::new();
-    for run in 1..=runs {
-        let _ = std::fs::remove_dir_all(&fresh_dir);
-        eprintln!(
-            "bench-check: fig8 smoke run {run}/{runs} ({})",
-            SMOKE_ARGS.join(" ")
-        );
-        let status = Command::new(&cargo)
-            .args(["run", "--release", "-p", "hot-bench", "--bin", "fig8_throughput", "--"])
-            .args(SMOKE_ARGS)
-            .current_dir(&scratch)
-            .status();
-        match status {
-            Ok(s) if s.success() => {}
-            Ok(s) => {
-                eprintln!("bench-check: fig8 smoke failed with {s}");
-                return ExitCode::FAILURE;
-            }
-            Err(e) => {
-                eprintln!("bench-check: cannot spawn cargo: {e}");
-                return ExitCode::FAILURE;
-            }
-        }
-        for name in BENCH_FILES {
-            let rows = match load_rows(&fresh_dir.join(name)) {
-                Ok(rows) => rows,
-                Err(e) => {
-                    eprintln!("bench-check: smoke run produced no {name}: {e}");
-                    return ExitCode::FAILURE;
-                }
-            };
-            merge_fold(&mut best, name, rows.clone(), f64::max);
-            merge_fold(&mut floor, name, rows, f64::min);
-        }
-    }
-
-    if update {
-        if let Err(e) = std::fs::create_dir_all(&baseline_dir) {
-            eprintln!("bench-check: cannot create {}: {e}", baseline_dir.display());
-            return ExitCode::FAILURE;
-        }
-        for name in BENCH_FILES {
-            let rows = floor
-                .iter()
-                .find(|(n, _)| n == name)
-                .map(|(_, rows)| rows.as_slice())
-                .unwrap_or(&[]);
-            if let Err(e) = write_baseline(&baseline_dir.join(name), runs, rows) {
-                eprintln!("bench-check: cannot update baseline {name}: {e}");
-                return ExitCode::FAILURE;
-            }
-            println!("bench-check: baseline updated: results/baselines/{name} (per-field floor of {runs} passes)");
-        }
-        return ExitCode::SUCCESS;
-    }
-
-    let tolerance = match std::env::var("BENCH_CHECK_TOLERANCE") {
-        Ok(v) => match v.parse::<f64>() {
-            Ok(t) if t > 0.0 && t < 1.0 => t,
-            _ => {
-                eprintln!("bench-check: BENCH_CHECK_TOLERANCE must be a fraction in (0, 1), got {v:?}");
-                return ExitCode::FAILURE;
-            }
-        },
-        Err(_) => 0.25,
-    };
-
-    let mut failures = Vec::new();
-    let mut checked = 0usize;
-    for name in BENCH_FILES {
-        let baseline = match load_rows(&baseline_dir.join(name)) {
-            Ok(rows) => rows,
-            Err(e) => {
-                eprintln!(
-                    "bench-check: no baseline results/baselines/{name} ({e}); run `cargo xtask bench-check --update` and commit"
-                );
-                return ExitCode::FAILURE;
-            }
-        };
-        let fresh = best
-            .iter()
-            .find(|(n, _)| n == name)
-            .map(|(_, rows)| rows.clone())
-            .unwrap_or_default();
-        for (key, base_fields) in &baseline {
-            let Some(new_fields) = fresh.iter().find(|(k, _)| k == key).map(|(_, f)| f) else {
-                failures.push(format!("{name}: row {key} missing from fresh run"));
-                continue;
-            };
-            for (field, base) in base_fields {
-                let Some((_, new)) = new_fields.iter().find(|(f, _)| f == field) else {
-                    failures.push(format!("{name}: {key}.{field} missing from fresh run"));
-                    continue;
-                };
-                checked += 1;
-                let floor = base * (1.0 - tolerance);
-                let ratio = if *base > 0.0 { new / base } else { 1.0 };
-                if *new < floor {
-                    failures.push(format!(
-                        "{name}: {key}.{field} regressed: baseline {base:.3} -> {new:.3} Mops ({:.0}% of baseline, floor {:.0}%)",
-                        ratio * 100.0,
-                        (1.0 - tolerance) * 100.0
-                    ));
-                } else {
-                    println!(
-                        "bench-check: ok {key}.{field}: {base:.3} -> {new:.3} Mops ({:.0}%)",
-                        ratio * 100.0
-                    );
-                }
-            }
-        }
-    }
-
-    if failures.is_empty() {
-        println!(
-            "bench-check: {checked} throughput field(s) within {:.0}% of baseline",
-            tolerance * 100.0
-        );
-        ExitCode::SUCCESS
-    } else {
-        for f in &failures {
-            eprintln!("bench-check: FAIL {f}");
-        }
-        eprintln!(
-            "\nbench-check: {} regression(s) beyond the {:.0}% tolerance. If the change \
-             is an accepted trade-off, refresh with `cargo xtask bench-check --update` \
-             (or raise BENCH_CHECK_TOLERANCE for a noisy runner).",
-            failures.len(),
-            tolerance * 100.0
-        );
-        ExitCode::FAILURE
-    }
-}
-
-/// One BENCH_*.json as `(row key, [(field, value)])` pairs.
-type RowTable = Vec<(String, Vec<(String, f64)>)>;
-
-/// Per-field best-of-N accumulator: `(file name, rows)`.
-type BestTable = Vec<(String, RowTable)>;
-
-/// Fold one run's rows into a per-field accumulator with `pick`
-/// (`f64::max` for the check side, `f64::min` for the baseline floor).
-fn merge_fold(table: &mut BestTable, name: &str, rows: RowTable, pick: fn(f64, f64) -> f64) {
-    let fi = table.iter().position(|(n, _)| n == name).unwrap_or_else(|| {
-        table.push((name.to_string(), Vec::new()));
-        table.len() - 1
-    });
-    let file = &mut table[fi].1;
-    for (key, fields) in rows {
-        let ri = file.iter().position(|(k, _)| *k == key).unwrap_or_else(|| {
-            file.push((key.clone(), Vec::new()));
-            file.len() - 1
-        });
-        let row = &mut file[ri].1;
-        for (field, value) in fields {
-            match row.iter_mut().find(|(f, _)| *f == field) {
-                Some((_, old)) => *old = pick(*old, value),
-                None => row.push((field, value)),
-            }
-        }
-    }
-}
-
-/// Write a baseline file in the same shape `load_rows` reads back: a
-/// `rows` array of `{dataset, structure, <field>_mops...}` objects. The
-/// row key is split back into its `dataset`/`structure` halves.
-fn write_baseline(path: &Path, runs: usize, rows: &[(String, Vec<(String, f64)>)]) -> Result<(), String> {
-    let mut out = String::from("{\n");
-    out.push_str(&format!(
-        "  \"note\": \"bench-check floor: per-field minimum across {runs} fig8 smoke passes\",\n"
-    ));
-    out.push_str("  \"rows\": [\n");
-    for (i, (key, fields)) in rows.iter().enumerate() {
-        let (dataset, structure) = key.split_once('/').unwrap_or((key.as_str(), "?"));
-        out.push_str(&format!(
-            "    {{\"dataset\": \"{dataset}\", \"structure\": \"{structure}\""
-        ));
-        for (field, value) in fields {
-            out.push_str(&format!(", \"{field}\": {value:.6}"));
-        }
-        out.push_str(if i + 1 < rows.len() { "},\n" } else { "}\n" });
-    }
-    out.push_str("  ]\n}\n");
-    std::fs::write(path, out).map_err(|e| e.to_string())
-}
-
-/// Parse one BENCH_*.json into `(row key, [(field, value)])` pairs: the row
-/// key is `dataset/structure`, the fields are every numeric `*_mops` entry.
-fn load_rows(path: &Path) -> Result<RowTable, String> {
-    let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
-    let value = json::parse(&text)?;
-    let rows = value
-        .get("rows")
-        .and_then(Json::as_array)
-        .ok_or_else(|| format!("{}: no \"rows\" array", path.display()))?;
-    let mut out = Vec::new();
-    for row in rows {
-        let dataset = row.get("dataset").and_then(Json::as_str).unwrap_or("?");
-        let structure = row.get("structure").and_then(Json::as_str).unwrap_or("?");
-        let key = format!("{dataset}/{structure}");
-        let fields: Vec<(String, f64)> = row
-            .entries()
-            .iter()
-            .filter(|(name, _)| name.ends_with("_mops"))
-            .filter_map(|(name, v)| v.as_f64().map(|x| (name.clone(), x)))
-            .collect();
-        if fields.is_empty() {
-            return Err(format!("{}: row {key} has no *_mops fields", path.display()));
-        }
-        out.push((key, fields));
-    }
-    Ok(out)
-}
-
-// ---------------------------------------------------------------------------
-// verify-no-metrics: the zero-cost-when-disabled structural proof
-// ---------------------------------------------------------------------------
-
-fn verify_no_metrics() -> ExitCode {
-    let root = workspace_root();
-    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".into());
-    let binary = root
-        .join("target")
-        .join("release")
-        .join(format!("fig8_throughput{}", std::env::consts::EXE_SUFFIX));
-    let probe = b"hot_metrics";
-
-    // First, with the feature: the crate name must show up (paths/symbols
-    // in the binary), or the probe itself is broken and the second check
-    // would pass vacuously.
-    let with = Command::new(&cargo)
-        .args(["build", "--release", "-p", "hot-bench", "--features", "metrics", "--bin", "fig8_throughput"])
-        .current_dir(&root)
-        .status();
-    if !matches!(with, Ok(s) if s.success()) {
-        eprintln!("verify-no-metrics: instrumented build failed");
-        return ExitCode::FAILURE;
-    }
-    match contains_bytes(&binary, probe) {
-        Ok(true) => println!("verify-no-metrics: probe ok (hot_metrics present in instrumented binary)"),
-        Ok(false) => {
-            eprintln!(
-                "verify-no-metrics: probe broken: `hot_metrics` not found even in the \
-                 --features metrics binary; the byte scan proves nothing"
-            );
-            return ExitCode::FAILURE;
-        }
-        Err(e) => {
-            eprintln!("verify-no-metrics: cannot read {}: {e}", binary.display());
-            return ExitCode::FAILURE;
-        }
-    }
-
-    // Then the default build: not a single mention may survive.
-    let without = Command::new(&cargo)
-        .args(["build", "--release", "-p", "hot-bench", "--bin", "fig8_throughput"])
-        .current_dir(&root)
-        .status();
-    if !matches!(without, Ok(s) if s.success()) {
-        eprintln!("verify-no-metrics: default build failed");
-        return ExitCode::FAILURE;
-    }
-    match contains_bytes(&binary, probe) {
-        Ok(false) => {
-            println!(
-                "verify-no-metrics: ok — default fig8 binary contains no hot_metrics \
-                 code (the instrumentation crate is not even linked)"
-            );
-            ExitCode::SUCCESS
-        }
-        Ok(true) => {
-            eprintln!(
-                "verify-no-metrics: FAIL — `hot_metrics` found in the default build; \
-                 the metrics feature leaks into uninstrumented binaries"
-            );
-            ExitCode::FAILURE
-        }
-        Err(e) => {
-            eprintln!("verify-no-metrics: cannot read {}: {e}", binary.display());
-            ExitCode::FAILURE
-        }
-    }
-}
-
-/// Whether `needle` occurs anywhere in the file's bytes.
-fn contains_bytes(path: &Path, needle: &[u8]) -> std::io::Result<bool> {
-    let haystack = std::fs::read(path)?;
-    Ok(haystack
-        .windows(needle.len())
-        .any(|window| window == needle))
-}
-
-// ---------------------------------------------------------------------------
-// Minimal JSON reader (no serde in the workspace)
-// ---------------------------------------------------------------------------
-
-use json::Json;
-
-/// Just enough JSON to read the workspace's own hand-rolled BENCH_*.json
-/// reports back: objects, arrays, strings (no escapes beyond `\"` and
-/// `\\`), numbers, booleans, null.
-mod json {
-    /// A parsed JSON value.
-    pub enum Json {
-        /// `null`
-        Null,
-        /// `true` / `false`
-        #[allow(dead_code, reason = "BENCH reports carry no booleans; kept for JSON completeness")]
-        Bool(bool),
-        /// Any number (read as f64 — throughput fields are all small).
-        Num(f64),
-        /// A string.
-        Str(String),
-        /// An array.
-        Arr(Vec<Json>),
-        /// An object, insertion-ordered.
-        Obj(Vec<(String, Json)>),
-    }
-
-    impl Json {
-        /// Object field by name (None for non-objects/missing keys).
-        pub fn get(&self, key: &str) -> Option<&Json> {
-            match self {
-                Json::Obj(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
-                _ => None,
-            }
-        }
-
-        /// All object entries (empty for non-objects).
-        pub fn entries(&self) -> &[(String, Json)] {
-            match self {
-                Json::Obj(entries) => entries,
-                _ => &[],
-            }
-        }
-
-        /// The array items, if this is an array.
-        pub fn as_array(&self) -> Option<&[Json]> {
-            match self {
-                Json::Arr(items) => Some(items),
-                _ => None,
-            }
-        }
-
-        /// The string value, if this is a string.
-        pub fn as_str(&self) -> Option<&str> {
-            match self {
-                Json::Str(s) => Some(s),
-                _ => None,
-            }
-        }
-
-        /// The numeric value, if this is a number.
-        pub fn as_f64(&self) -> Option<f64> {
-            match self {
-                Json::Num(x) => Some(*x),
-                _ => None,
-            }
-        }
-    }
-
-    /// Parse a complete JSON document.
-    pub fn parse(text: &str) -> Result<Json, String> {
-        let bytes = text.as_bytes();
-        let mut pos = 0usize;
-        let value = parse_value(bytes, &mut pos)?;
-        skip_ws(bytes, &mut pos);
-        if pos != bytes.len() {
-            return Err(format!("trailing content at byte {pos}"));
-        }
-        Ok(value)
-    }
-
-    fn skip_ws(bytes: &[u8], pos: &mut usize) {
-        while *pos < bytes.len() && bytes[*pos].is_ascii_whitespace() {
-            *pos += 1;
-        }
-    }
-
-    fn expect(bytes: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
-        skip_ws(bytes, pos);
-        if bytes.get(*pos) == Some(&c) {
-            *pos += 1;
-            Ok(())
-        } else {
-            Err(format!("expected {:?} at byte {}", c as char, *pos))
-        }
-    }
-
-    fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
-        skip_ws(bytes, pos);
-        match bytes.get(*pos) {
-            Some(b'{') => parse_object(bytes, pos),
-            Some(b'[') => parse_array(bytes, pos),
-            Some(b'"') => Ok(Json::Str(parse_string(bytes, pos)?)),
-            Some(b't') => parse_literal(bytes, pos, b"true", Json::Bool(true)),
-            Some(b'f') => parse_literal(bytes, pos, b"false", Json::Bool(false)),
-            Some(b'n') => parse_literal(bytes, pos, b"null", Json::Null),
-            Some(_) => parse_number(bytes, pos),
-            None => Err("unexpected end of input".into()),
-        }
-    }
-
-    fn parse_literal(bytes: &[u8], pos: &mut usize, word: &[u8], value: Json) -> Result<Json, String> {
-        if bytes[*pos..].starts_with(word) {
-            *pos += word.len();
-            Ok(value)
-        } else {
-            Err(format!("bad literal at byte {}", *pos))
-        }
-    }
-
-    fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
-        expect(bytes, pos, b'{')?;
-        let mut entries = Vec::new();
-        skip_ws(bytes, pos);
-        if bytes.get(*pos) == Some(&b'}') {
-            *pos += 1;
-            return Ok(Json::Obj(entries));
-        }
-        loop {
-            skip_ws(bytes, pos);
-            let key = parse_string(bytes, pos)?;
-            expect(bytes, pos, b':')?;
-            let value = parse_value(bytes, pos)?;
-            entries.push((key, value));
-            skip_ws(bytes, pos);
-            match bytes.get(*pos) {
-                Some(b',') => *pos += 1,
-                Some(b'}') => {
-                    *pos += 1;
-                    return Ok(Json::Obj(entries));
-                }
-                _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
-            }
-        }
-    }
-
-    fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
-        expect(bytes, pos, b'[')?;
-        let mut items = Vec::new();
-        skip_ws(bytes, pos);
-        if bytes.get(*pos) == Some(&b']') {
-            *pos += 1;
-            return Ok(Json::Arr(items));
-        }
-        loop {
-            items.push(parse_value(bytes, pos)?);
-            skip_ws(bytes, pos);
-            match bytes.get(*pos) {
-                Some(b',') => *pos += 1,
-                Some(b']') => {
-                    *pos += 1;
-                    return Ok(Json::Arr(items));
-                }
-                _ => return Err(format!("expected ',' or ']' at byte {}", *pos)),
-            }
-        }
-    }
-
-    fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
-        if bytes.get(*pos) != Some(&b'"') {
-            return Err(format!("expected string at byte {}", *pos));
-        }
-        *pos += 1;
-        let start = *pos;
-        let mut out = String::new();
-        while let Some(&b) = bytes.get(*pos) {
-            match b {
-                b'"' => {
-                    out.push_str(
-                        std::str::from_utf8(&bytes[start..*pos]).map_err(|e| e.to_string())?,
-                    );
-                    *pos += 1;
-                    return Ok(out.replace("\\\"", "\"").replace("\\\\", "\\"));
-                }
-                b'\\' => *pos += 2,
-                _ => *pos += 1,
-            }
-        }
-        Err("unterminated string".into())
-    }
-
-    fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
-        let start = *pos;
-        while let Some(&b) = bytes.get(*pos) {
-            if b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E') {
-                *pos += 1;
-            } else {
-                break;
-            }
-        }
-        std::str::from_utf8(&bytes[start..*pos])
-            .ok()
-            .and_then(|s| s.parse::<f64>().ok())
-            .map(Json::Num)
-            .ok_or_else(|| format!("bad number at byte {start}"))
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn json_roundtrips_a_bench_report() {
-        let doc = r#"{
-          "bench": "fig8_workload_C_batched",
-          "keys": 50000, "ops": 50000, "seed": 42, "batch": 8,
-          "rows": [
-            {"dataset": "url", "structure": "hot", "scalar_mops": 1.234, "batched_mops": 2.5},
-            {"dataset": "int", "structure": "art", "scalar_mops": 3.0, "batched_mops": 4.75}
-          ]
-        }"#;
-        let v = json::parse(doc).expect("parses");
-        let rows = v.get("rows").and_then(Json::as_array).expect("rows");
-        assert_eq!(rows.len(), 2);
-        assert_eq!(rows[0].get("dataset").and_then(Json::as_str), Some("url"));
-        assert_eq!(rows[1].get("batched_mops").and_then(Json::as_f64), Some(4.75));
-        assert_eq!(v.get("keys").and_then(Json::as_f64), Some(50000.0));
-        let mops: Vec<_> = rows[0]
-            .entries()
-            .iter()
-            .filter(|(k, _)| k.ends_with("_mops"))
-            .collect();
-        assert_eq!(mops.len(), 2);
-    }
-
-    #[test]
-    fn merge_fold_takes_the_extreme_per_field() {
-        let run1 = vec![("url/HOT".to_string(), vec![("scalar_mops".to_string(), 2.0)])];
-        let run2 = vec![("url/HOT".to_string(), vec![("scalar_mops".to_string(), 3.0)])];
-        let mut best: BestTable = Vec::new();
-        let mut floor: BestTable = Vec::new();
-        for rows in [run1, run2] {
-            merge_fold(&mut best, "BENCH_batch.json", rows.clone(), f64::max);
-            merge_fold(&mut floor, "BENCH_batch.json", rows, f64::min);
-        }
-        assert_eq!(best[0].1[0].1[0].1, 3.0);
-        assert_eq!(floor[0].1[0].1[0].1, 2.0);
-    }
-
-    #[test]
-    fn baseline_roundtrips_through_load_rows() {
-        let rows = vec![
-            (
-                "url/HOT".to_string(),
-                vec![("scalar_mops".to_string(), 1.5), ("batched_mops".to_string(), 2.25)],
-            ),
-            ("integer/BT".to_string(), vec![("alloc_mops".to_string(), 0.75)]),
-        ];
-        let dir = std::env::temp_dir().join("xtask-baseline-roundtrip");
-        std::fs::create_dir_all(&dir).expect("temp dir");
-        let path = dir.join("BENCH_test.json");
-        write_baseline(&path, 3, &rows).expect("writes");
-        let back = load_rows(&path).expect("parses back");
-        assert_eq!(back, rows);
-        let _ = std::fs::remove_dir_all(&dir);
-    }
-
-    #[test]
-    fn json_rejects_garbage() {
-        assert!(json::parse("{\"a\": }").is_err());
-        assert!(json::parse("[1, 2").is_err());
-        assert!(json::parse("{} trailing").is_err());
-    }
-
-    fn findings(src: &str) -> usize {
-        let mut f = Vec::new();
-        audit_file(Path::new("t.rs"), src, &mut f);
-        f.len()
-    }
-
-    #[test]
-    fn flags_bare_block() {
-        assert_eq!(findings("fn f() { unsafe { g() } }"), 1);
-    }
-
-    #[test]
-    fn accepts_same_line_and_preceding_comment() {
-        assert_eq!(findings("// SAFETY: fine\nlet x = unsafe { g() };"), 0);
-        assert_eq!(findings("let x = unsafe { g() }; // SAFETY: fine"), 0);
-    }
-
-    #[test]
-    fn comment_must_be_adjacent() {
-        assert_eq!(findings("// SAFETY: stale\nlet y = 1;\nlet x = unsafe { g() };"), 1);
-    }
-
-    #[test]
-    fn unsafe_fn_needs_safety_docs() {
-        assert_eq!(findings("unsafe fn f() {}"), 1);
-        assert_eq!(findings("/// # Safety\n/// caller checks\nunsafe fn f() {}"), 0);
-        // Attributes between docs and fn are fine.
-        assert_eq!(
-            findings("/// # Safety\n/// caller checks\n#[inline]\npub unsafe fn f() {}"),
-            0
-        );
-    }
-
-    #[test]
-    fn unsafe_impl_needs_comment() {
-        assert_eq!(findings("unsafe impl Send for T {}"), 1);
-        assert_eq!(findings("// SAFETY: T owns its data\nunsafe impl Send for T {}"), 0);
-    }
-
-    #[test]
-    fn strings_and_comments_are_not_sites() {
-        assert_eq!(findings("let s = \"unsafe { }\";"), 0);
-        assert_eq!(findings("// unsafe { } in a comment\nlet s = 1;"), 0);
-        assert_eq!(findings("let s = r#\"unsafe { }\"#;"), 0);
-    }
-
-    #[test]
-    fn unsafe_trait_is_not_a_site() {
-        assert_eq!(findings("unsafe trait Zeroable {}"), 0);
-    }
-
-    #[test]
-    fn lifetimes_do_not_confuse_the_lexer() {
-        assert_eq!(
-            findings("fn f<'a>(x: &'a u8) -> &'a u8 { x }\n// SAFETY: ok\nlet y = unsafe { g() };"),
-            0
-        );
-    }
 }
