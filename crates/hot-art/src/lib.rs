@@ -944,6 +944,7 @@ impl<S: KeySource> Art<S> {
             node_count: self.node_count,
             aux_bytes: 0,
             key_count: self.len,
+            capacity_bytes: 0,
         }
     }
 

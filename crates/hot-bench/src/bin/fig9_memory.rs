@@ -11,16 +11,79 @@
 //! cargo run --release -p hot-bench --bin fig9_memory -- --keys 1000000
 //! ```
 //!
+//! Two space metrics per row:
+//!
+//! * `live_B_key` — live index bytes per key (node headers, masks, partial
+//!   keys, value slots): the paper's headline metric, a `size_of`
+//!   summation over reachable structures.
+//! * `footprint_B_key` — allocator-level bytes per key: what the index's
+//!   allocator actually reserved from the OS, growth slack and free-list
+//!   blocks included. For the compact arena backend this is committed slab
+//!   capacity; for heap structures no arena-level accounting exists, so
+//!   reservation tracks live bytes and the two metrics coincide. The
+//!   footprint is the honest answer to "what does this index cost my
+//!   process" and is the number the `--arena` comparison gates on.
+//!
+//! `with_keys_B_key` adds the storage a lookup actually needs: heap
+//! structures store 8-byte TIDs and resolve keys through the shared
+//! [`ArenaKeySource`] tuple store, so their self-contained cost includes
+//! its reserved bytes; the compact arena backend front-codes keys inline
+//! and adds nothing.
+//!
 //! With `--bulk` the indexes are built through [`BenchIndex::bulk_load`]
 //! over pre-sorted keys instead of the insert loop, so the figure reports
 //! the footprint of bulk-built structures (never larger for HOT: the
 //! bottom-up builder packs nodes at least as densely as incremental COW
 //! growth).
 //!
+//! With `--arena` a `HOT-arena` row ([`CompactHotIndex`]) joins each data
+//! set, its get/scan checksums are asserted identical to the heap HOT row
+//! before its numbers are reported, and the arena-vs-heap comparison is
+//! written to `results/BENCH_arena.json` for the `cargo xtask bench-check`
+//! gate (fields ending `_bpk` are gated lower-is-better).
+//!
 //! [`BenchIndex::bulk_load`]: hot_bench::BenchIndex::bulk_load
+//! [`ArenaKeySource`]: hot_keys::ArenaKeySource
+//! [`CompactHotIndex`]: hot_bench::CompactHotIndex
 
-use hot_bench::{all_indexes, row, run_load, run_load_bulk, BenchData, Config};
+use hot_bench::{
+    all_indexes, row, run_load, run_load_bulk, BenchData, BenchIndex, CompactHotIndex, Config,
+};
 use hot_ycsb::{Dataset, DatasetKind};
+
+/// One `BENCH_arena.json` row: the self-contained bytes/key of the two HOT
+/// backends on one data set.
+struct ArenaRecord {
+    dataset: &'static str,
+    arena_bpk: f64,
+    heap_bpk: f64,
+}
+
+/// Sum of found TIDs over every key plus scan entry counts from a strided
+/// sample — a black-box the two backends must agree on exactly before
+/// their memory rows are comparable (same tree, same answers).
+fn op_checksum(index: &dyn BenchIndex, data: &BenchData, n: usize) -> u64 {
+    let mut checksum = 0u64;
+    for i in 0..n {
+        if let Some(tid) = index.get(&data.dataset.keys[i]) {
+            checksum = checksum.wrapping_add(tid.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        }
+    }
+    let mut i = 0;
+    while i < n {
+        checksum = checksum.wrapping_add(index.scan(&data.dataset.keys[i], 64) as u64);
+        i += 997;
+    }
+    checksum
+}
+
+fn load(index: &mut dyn BenchIndex, data: &BenchData, config: &Config) {
+    if config.bulk {
+        run_load_bulk(index, data, config.keys, 1);
+    } else {
+        run_load(index, data, config.keys);
+    }
+}
 
 fn main() {
     let config = Config::from_args();
@@ -31,35 +94,140 @@ fn main() {
         if config.bulk { "bulk" } else { "insert-loop" }
     );
     println!("# paper_shape: HOT smallest everywhere (11-15 B/key); BT constant across data sets (~88% above HOT); Masstree worst on url (+230% vs its integer footprint); ART +51%");
+    if config.arena {
+        println!("# arena_shape: HOT-arena self-contained (keys inline) at <= 60% of heap HOT + tuple store on url");
+    }
     row(&[
         "dataset".into(),
         "structure".into(),
-        "total_MB".into(),
-        "bytes_per_key".into(),
+        "footprint_MB".into(),
+        "footprint_B_key".into(),
+        "live_B_key".into(),
+        "with_keys_B_key".into(),
         "tid_floor_MB".into(),
         "raw_keys_MB".into(),
     ]);
 
     let mb = |bytes: usize| bytes as f64 / 1e6;
+    let mut records: Vec<ArenaRecord> = Vec::new();
     for kind in DatasetKind::ALL {
         let data = BenchData::new(Dataset::generate(kind, config.keys, config.seed));
         let raw_keys = data.dataset.raw_key_bytes();
+        let key_store = data.arena.capacity_bytes();
         let tid_floor = config.keys * 8;
-        for mut index in all_indexes(&data.arena) {
-            if config.bulk {
-                run_load_bulk(index.as_mut(), &data, config.keys, 1);
-            } else {
-                run_load(index.as_mut(), &data, config.keys);
-            }
+        let mut heap_hot_with_keys = 0.0;
+        let mut heap_hot_checksum = 0u64;
+        for (slot, mut index) in all_indexes(&data.arena).into_iter().enumerate() {
+            load(index.as_mut(), &data, &config);
             let stats = index.memory();
+            // Heap structures answer lookups through the shared tuple
+            // store, so their self-contained cost includes its reserved
+            // bytes.
+            let with_keys = stats.footprint_bytes() + key_store;
+            if slot == 0 {
+                // all_indexes puts HOT first: the heap side of the arena
+                // comparison.
+                heap_hot_with_keys = with_keys as f64 / config.keys as f64;
+                if config.arena {
+                    heap_hot_checksum = op_checksum(index.as_ref(), &data, config.keys);
+                }
+            }
             row(&[
                 kind.label().into(),
                 index.name().into(),
-                format!("{:.1}", mb(stats.total_bytes())),
+                format!("{:.1}", mb(stats.footprint_bytes())),
+                format!("{:.2}", stats.footprint_per_key()),
                 format!("{:.2}", stats.bytes_per_key()),
+                format!("{:.2}", with_keys as f64 / config.keys as f64),
                 format!("{:.1}", mb(tid_floor)),
                 format!("{:.1}", mb(raw_keys)),
             ]);
         }
+        if config.arena {
+            let mut index = CompactHotIndex::new();
+            load(&mut index, &data, &config);
+            let checksum = op_checksum(&index, &data, config.keys);
+            assert_eq!(
+                checksum,
+                heap_hot_checksum,
+                "{}: arena backend get/scan checksum diverges from heap HOT",
+                kind.label()
+            );
+            let stats = index.memory();
+            // Keys live front-coded inside the slabs: nothing external to
+            // add.
+            let arena_bpk = stats.footprint_per_key();
+            row(&[
+                kind.label().into(),
+                index.name().into(),
+                format!("{:.1}", mb(stats.footprint_bytes())),
+                format!("{:.2}", arena_bpk),
+                format!("{:.2}", stats.bytes_per_key()),
+                format!("{:.2}", arena_bpk),
+                format!("{:.1}", mb(tid_floor)),
+                format!("{:.1}", mb(raw_keys)),
+            ]);
+            let arena = index.trie().arena_stats();
+            println!(
+                "# {}: arena split: node {:.2} B/key (live {:.2}), leaf {:.2} B/key (tail {:.2}, dead {:.2})",
+                kind.label(),
+                arena.node_capacity_bytes as f64 / config.keys as f64,
+                arena.node_live_bytes as f64 / config.keys as f64,
+                arena.leaf_capacity_bytes as f64 / config.keys as f64,
+                arena.leaf_tail_bytes as f64 / config.keys as f64,
+                arena.leaf_dead_bytes as f64 / config.keys as f64,
+            );
+            println!(
+                "# {}: arena {:.2} B/key vs heap {:.2} B/key with keys = {:.0}% (checksums agree)",
+                kind.label(),
+                arena_bpk,
+                heap_hot_with_keys,
+                100.0 * arena_bpk / heap_hot_with_keys
+            );
+            records.push(ArenaRecord {
+                dataset: kind.label(),
+                arena_bpk,
+                heap_bpk: heap_hot_with_keys,
+            });
+        }
+    }
+    if config.arena {
+        write_arena_json(&config, &records);
+    }
+}
+
+/// Hand-rolled JSON: self-contained bytes/key of the arena backend vs the
+/// heap backend (HOT footprint + tuple-store reservation) per data set.
+/// The `*_bpk` fields are gated lower-is-better by `cargo xtask
+/// bench-check`.
+fn write_arena_json(config: &Config, records: &[ArenaRecord]) {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"fig9_arena_footprint\",\n");
+    out.push_str(&format!(
+        "  \"keys\": {}, \"seed\": {}, \"load\": \"{}\",\n",
+        config.keys,
+        config.seed,
+        if config.bulk { "bulk" } else { "insert-loop" }
+    ));
+    out.push_str("  \"rows\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"dataset\": \"{}\", \"structure\": \"HOT-arena\", \"arena_bpk\": {:.3}, \"heap_bpk\": {:.3}, \"ratio_pct\": {:.1}}}{}\n",
+            r.dataset,
+            r.arena_bpk,
+            r.heap_bpk,
+            100.0 * r.arena_bpk / r.heap_bpk,
+            if i + 1 < records.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    if let Err(e) = std::fs::create_dir_all("results")
+        .and_then(|()| std::fs::write("results/BENCH_arena.json", &out))
+    {
+        // Results are advisory; a read-only checkout should not fail the run.
+        eprintln!("# could not write results/BENCH_arena.json: {e}");
+    } else {
+        eprintln!("# wrote results/BENCH_arena.json");
     }
 }

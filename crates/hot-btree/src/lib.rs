@@ -490,6 +490,7 @@ impl<S: KeySource> BPlusTree<S> {
             node_count,
             aux_bytes: 0,
             key_count: self.len,
+            capacity_bytes: 0,
         }
     }
 

@@ -132,7 +132,7 @@ fn key_bit(key: &[u8], pos: usize) -> u8 {
 }
 
 /// Sentinel child index marking an entry leaf (a range of one key).
-const ENTRY: usize = usize::MAX;
+pub(crate) const ENTRY: usize = usize::MAX;
 
 /// The sorted key set's binary Patricia trie, as the min-Cartesian tree
 /// over the boundary array, plus the height-packing DP solved bottom-up.
@@ -146,7 +146,7 @@ pub(crate) struct Shape {
     /// packable into height `h - 1`.
     h: Vec<u32>,
     /// Global Patricia root (the unique minimum boundary).
-    root: usize,
+    pub(crate) root: usize,
 }
 
 /// One `O(n)` pass: build the min-Cartesian tree with a monotonic stack,
@@ -219,9 +219,9 @@ pub(crate) fn analyze(bounds: &[u16]) -> Shape {
 /// `lo..=hi` plus its Patricia root BiNode (`ENTRY` for a single key).
 #[derive(Clone, Copy)]
 pub(crate) struct Part {
-    lo: usize,
-    hi: usize,
-    root: usize,
+    pub(crate) lo: usize,
+    pub(crate) hi: usize,
+    pub(crate) root: usize,
 }
 
 /// Collect the forced-split part set for the compound node packing BiNode
@@ -229,7 +229,7 @@ pub(crate) struct Part {
 /// `j`, stopping at every side that packs into height `h[j] - 1`. By the
 /// [`analyze`] DP this yields `2..=32` parts, in entry order, and is the
 /// unique minimal partition achieving the minimal height.
-fn partition_node(shape: &Shape, j: usize, lo: usize, hi: usize, parts: &mut Vec<Part>) {
+pub(crate) fn partition_node(shape: &Shape, j: usize, lo: usize, hi: usize, parts: &mut Vec<Part>) {
     let target = shape.h[j] - 1;
     descend(shape, j, lo, hi, target, parts);
 }

@@ -23,6 +23,10 @@
 //! * [`sync::ConcurrentHot`] — the ROWEX-synchronized variant of Section 5:
 //!   wait-free readers, lock-only-what-you-modify writers, epoch-based
 //!   memory reclamation;
+//! * [`CompactHot`] — the arena-backed compact layout: 32-bit offset-word
+//!   child references and inline front-coded leaf records, cutting
+//!   bytes/key roughly in half while producing structurally identical
+//!   trees (same [`structure_digest`](HotTrie::structure_digest));
 //! * [`HotMap`] — a convenience ordered map that owns its keys and values.
 //!
 //! ```
@@ -40,6 +44,7 @@
 
 #![deny(missing_docs)]
 
+pub mod arena;
 pub mod batch;
 pub mod bulk;
 pub mod invariants;
@@ -57,6 +62,10 @@ pub mod trie;
 #[cfg(feature = "metrics")]
 pub use hot_metrics;
 
+pub use arena::{
+    ArenaFull, ArenaKind, ArenaStats, CompactBatchCursor, CompactCursor, CompactHot,
+    CompactScanCursor,
+};
 pub use batch::{BatchCursor, DEFAULT_GROUP};
 pub use bulk::BulkLoadError;
 pub use invariants::InvariantReport;

@@ -135,6 +135,18 @@ impl Builder {
     /// `values` are the entries' value words in key order; the height is
     /// derived from them (`1 +` the tallest child).
     pub fn from_fragment(bounds: &[u16], values: &[u64]) -> Builder {
+        Self::from_fragment_with(bounds, values, ref_height)
+    }
+
+    /// [`Self::from_fragment`] with an explicit child-height resolver —
+    /// the arena backend's value words are 32-bit `CRef`s that must not be
+    /// interpreted as heap pointers, so it supplies a resolver that reads
+    /// heights out of the arena instead.
+    pub fn from_fragment_with(
+        bounds: &[u16],
+        values: &[u64],
+        height_of: impl Fn(u64) -> u8 + Copy,
+    ) -> Builder {
         let n = values.len();
         assert!((2..=MAX_FANOUT).contains(&n), "entry count {n}");
         assert_eq!(bounds.len(), n - 1, "one boundary between adjacent entries");
@@ -171,7 +183,7 @@ impl Builder {
             positions,
             sparse,
             values: values.to_vec(),
-            height: true_height(values),
+            height: 1 + values.iter().map(|&v| height_of(v)).max().unwrap_or(0),
         }
     }
 
@@ -299,6 +311,19 @@ impl Builder {
     /// `pos` with children `zero` and `one` — the *parent pull up* primitive
     /// (the moved BiNode is the split child's root BiNode).
     pub fn replace_entry_with_pair(&mut self, idx: usize, pos: u16, zero: u64, one: u64) {
+        self.replace_entry_with_pair_with(idx, pos, zero, one, ref_height);
+    }
+
+    /// [`Self::replace_entry_with_pair`] with an explicit child-height
+    /// resolver (arena backend; see [`Self::from_fragment_with`]).
+    pub fn replace_entry_with_pair_with(
+        &mut self,
+        idx: usize,
+        pos: u16,
+        zero: u64,
+        one: u64,
+        height_of: impl Fn(u64) -> u8 + Copy,
+    ) {
         let bit = self.ensure_position(pos);
         debug_assert_eq!(
             self.sparse[idx] & (1 << bit),
@@ -309,7 +334,7 @@ impl Builder {
         self.sparse.insert(idx + 1, self.sparse[idx] | (1 << bit));
         self.values.insert(idx + 1, one);
         // The replaced subtree may have been the unique tallest child.
-        self.height = true_height(&self.values);
+        self.height = 1 + self.values.iter().map(|&v| height_of(v)).max().unwrap_or(0);
     }
 
     /// Rank (and extracted bit) of this node's root BiNode: the smallest
@@ -330,7 +355,7 @@ impl Builder {
     /// Extract the sub-builder for the entry range `lo..hi` (exclusive),
     /// keeping exactly the positions that discriminate *within* the range
     /// (both bit values occur) and compacting sparse keys with a PEXT.
-    fn sub_builder(&self, lo: usize, hi: usize) -> Builder {
+    fn sub_builder(&self, lo: usize, hi: usize, height_of: impl Fn(u64) -> u8 + Copy) -> Builder {
         debug_assert!(hi - lo >= 2);
         let m = self.m();
         let mut keep_mask = 0u64;
@@ -359,7 +384,7 @@ impl Builder {
         // A half keeps only a subset of the children, so its height must be
         // recomputed — inheriting the split node's height would let stored
         // heights ratchet upward and defeat the height optimization.
-        let height = true_height(&values);
+        let height = 1 + values.iter().map(|&v| height_of(v)).max().unwrap_or(0);
         Builder {
             positions: kept_positions,
             sparse,
@@ -371,6 +396,12 @@ impl Builder {
     /// Split an overflowed builder at its root BiNode (Listing 1's
     /// `split(n)`): returns the root position and the left/right halves.
     pub fn split(&self) -> (u16, Builder, Builder) {
+        self.split_with(ref_height)
+    }
+
+    /// [`Self::split`] with an explicit child-height resolver (arena
+    /// backend; see [`Self::from_fragment_with`]).
+    pub fn split_with(&self, height_of: impl Fn(u64) -> u8 + Copy) -> (u16, Builder, Builder) {
         let r = self.root_rank();
         let bit = self.bit_of_rank(r);
         let s = self
@@ -382,12 +413,16 @@ impl Builder {
         let pos = self.positions[r];
         // Halves of size 1 collapse to the entry's value directly; the
         // caller handles that via `half_ref`.
-        (pos, self.sub_range(0, s), self.sub_range(s, self.len()))
+        (
+            pos,
+            self.sub_range(0, s, height_of),
+            self.sub_range(s, self.len(), height_of),
+        )
     }
 
     /// Like [`Self::sub_builder`] but tolerates single-entry ranges, which
     /// the caller collapses to the bare value word.
-    fn sub_range(&self, lo: usize, hi: usize) -> Builder {
+    fn sub_range(&self, lo: usize, hi: usize, height_of: impl Fn(u64) -> u8 + Copy) -> Builder {
         if hi - lo == 1 {
             Builder {
                 positions: Vec::new(),
@@ -396,7 +431,7 @@ impl Builder {
                 height: self.height,
             }
         } else {
-            self.sub_builder(lo, hi)
+            self.sub_builder(lo, hi, height_of)
         }
     }
 

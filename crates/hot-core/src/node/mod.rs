@@ -210,6 +210,27 @@ pub(crate) fn geometry(tag: NodeTag, count: usize) -> NodeGeometry {
     }
 }
 
+/// Geometry of the arena-backed *compact* layout (DESIGN.md §16): identical
+/// header, mask and partial-key sections — so every mask/partial-key
+/// accessor on [`RawNode`] works unchanged — but value slots are 32-bit
+/// arena references, and the allocation is 8-byte-granular (the tag lives
+/// in the offset word, so the 32-byte pointer-tag alignment is not needed).
+pub(crate) fn geometry_compact(tag: NodeTag, count: usize) -> NodeGeometry {
+    debug_assert!((2..=MAX_FANOUT).contains(&count));
+    let pkeys_offset = HEADER_BYTES + tag.mask_section_bytes();
+    let pkeys_end = pkeys_offset + count * tag.key_width();
+    let values_offset = (pkeys_end + 3) & !3;
+    let logical_end = values_offset + count * 4;
+    // Same SIMD-overread reservation as the heap layout.
+    let simd_end = pkeys_offset + tag.simd_padding();
+    let alloc_size = (logical_end.max(simd_end) + 7) & !7;
+    NodeGeometry {
+        pkeys_offset,
+        values_offset,
+        alloc_size,
+    }
+}
+
 // ---- node allocator ---------------------------------------------------------
 //
 // Copy-on-write makes node allocation/free the hottest allocator traffic in
@@ -620,6 +641,89 @@ impl RawNode {
         // SAFETY: i < count.
         // pairs-with: value-slot
         unsafe { (*self.values_ptr().add(i)).store(v.0, Ordering::Release) }
+    }
+
+    // ---- compact (arena) value slots --------------------------------------------
+    //
+    // A compact node shares header/mask/partial-key sections with the heap
+    // layout byte for byte; only the value section differs (32-bit arena
+    // references at a 4-byte-aligned offset). `RawNode` views over arena
+    // memory therefore reuse every accessor above and switch only the
+    // value-slot functions below.
+
+    /// Initialize the header of a freshly arena-allocated compact node.
+    /// The caller owns the block exclusively until publication.
+    pub(crate) fn init_header(self, count: usize, height: u8) {
+        // SAFETY: the arena handed out an exclusively owned, 8-aligned block
+        // covering at least the 8-byte header.
+        unsafe {
+            *(self.base as *mut u64) = 0;
+            *self.count_ptr() = count as u8;
+            *self.height_ptr() = height;
+        }
+    }
+
+    #[inline]
+    pub(crate) fn cvalues_ptr(self) -> *const AtomicU32 {
+        // SAFETY: offset computed from the node's own compact geometry; the
+        // compact value section is 4-byte aligned (8-aligned base).
+        unsafe {
+            self.base.add(geometry_compact(self.tag, self.count()).values_offset)
+                as *const AtomicU32
+        }
+    }
+
+    /// Load the compact value word of entry `i` (32-bit arena reference).
+    ///
+    /// Ordering: **Acquire** — pairs with the **Release** in
+    /// [`store_cvalue`](Self::store_cvalue); a reader that observes a COW
+    /// replacement's offset observes the replacement node's fully written
+    /// arena bytes.
+    #[inline]
+    pub fn cvalue(self, i: usize) -> u32 {
+        debug_assert!(i < self.count());
+        // SAFETY: i < count; compact values are initialized at build time.
+        // pairs-with: cvalue-slot
+        unsafe { (*self.cvalues_ptr().add(i)).load(Ordering::Acquire) }
+    }
+
+    /// Store the compact value word of entry `i` — the single offset swap
+    /// publishing a compact COW replacement.
+    ///
+    /// Ordering: **Release** — all plain stores that filled the new arena
+    /// node happen-before this store; pairs with the **Acquire** in
+    /// [`cvalue`](Self::cvalue).
+    #[inline]
+    pub fn store_cvalue(self, i: usize, v: u32) {
+        debug_assert!(i < self.count());
+        // SAFETY: i < count.
+        // pairs-with: cvalue-slot
+        unsafe { (*self.cvalues_ptr().add(i)).store(v, Ordering::Release) }
+    }
+
+    /// Bulk-read a compact node's sparse keys and value words (widened to
+    /// the builder's u64 word space) — the compact analogue of
+    /// [`read_entries`](Self::read_entries).
+    pub fn read_entries_compact(self, sparse: &mut Vec<u32>, values: &mut Vec<u64>) {
+        let n = self.count();
+        sparse.clear();
+        values.clear();
+        let base = self.pkeys_base();
+        // SAFETY: the partial-key section holds `count` entries of the
+        // tag's width; compact values are initialized.
+        unsafe {
+            match self.tag.key_width() {
+                1 => sparse.extend(std::slice::from_raw_parts(base, n).iter().map(|&k| k as u32)),
+                2 => sparse.extend(
+                    std::slice::from_raw_parts(base as *const u16, n)
+                        .iter()
+                        .map(|&k| k as u32),
+                ),
+                _ => sparse.extend_from_slice(std::slice::from_raw_parts(base as *const u32, n)),
+            }
+            let vals = self.cvalues_ptr();
+            values.extend((0..n).map(|i| (*vals.add(i)).load(Ordering::Relaxed) as u64));
+        }
     }
 
     /// The sparse partial key of entry `i`, widened to u32.
@@ -1086,6 +1190,44 @@ impl RawNode {
     ) {
         debug_assert_eq!(sparse.len(), values.len());
         debug_assert_eq!(self.count(), values.len());
+        self.fill_masks_pkeys(positions, sparse);
+        // SAFETY: exclusively owned during build; the values section holds
+        // `count` u64 slots per the heap geometry.
+        unsafe {
+            std::ptr::copy_nonoverlapping(
+                values.as_ptr(),
+                self.values_ptr() as *mut u64,
+                values.len(),
+            );
+        }
+    }
+
+    /// Compact-layout twin of [`fill`](Self::fill): identical mask and
+    /// partial-key sections, 32-bit value slots at the compact offset. The
+    /// value words must already be valid `CRef` bit patterns (≤ 32 bits).
+    pub(crate) fn fill_compact(
+        self,
+        positions: &[u16],
+        sparse: &[u32],
+        values: &[u64],
+    ) {
+        debug_assert_eq!(sparse.len(), values.len());
+        debug_assert_eq!(self.count(), values.len());
+        self.fill_masks_pkeys(positions, sparse);
+        // SAFETY: exclusively owned during build; the compact values section
+        // holds `count` u32 slots per the compact geometry.
+        unsafe {
+            let dst = self.cvalues_ptr() as *mut u32;
+            for (i, &v) in values.iter().enumerate() {
+                debug_assert!(v <= u32::MAX as u64, "compact value word overflows 32 bits");
+                *dst.add(i) = v as u32;
+            }
+        }
+    }
+
+    /// Shared build-time writer for the mask and partial-key sections (the
+    /// parts that are byte-identical between the heap and compact layouts).
+    fn fill_masks_pkeys(self, positions: &[u16], sparse: &[u32]) {
         match self.tag.mask_kind() {
             MaskKind::Single => {
                 let offset = (positions[0] / 8) as u8;
@@ -1115,12 +1257,12 @@ impl RawNode {
                 self.set_multi(&offsets[..slots], &mask_bytes[..slots]);
             }
         }
-        // Bulk-write partial keys and values: one width dispatch, tight
-        // copy loops (this is the hot part of every copy-on-write insert).
-        let n = values.len();
+        // Bulk-write partial keys: one width dispatch, tight copy loops
+        // (this is the hot part of every copy-on-write insert).
+        let n = sparse.len();
         let base = self.pkeys_base();
         // SAFETY: exclusively owned during build; section sizes follow from
-        // the node's geometry.
+        // the node's geometry (identical for both layouts).
         unsafe {
             match self.tag.key_width() {
                 1 => {
@@ -1140,7 +1282,6 @@ impl RawNode {
                     std::ptr::copy_nonoverlapping(sparse.as_ptr(), base as *mut u32, n);
                 }
             }
-            std::ptr::copy_nonoverlapping(values.as_ptr(), self.values_ptr() as *mut u64, n);
         }
     }
 }

@@ -1139,6 +1139,7 @@ impl<S: KeySource> ConcurrentHot<S> {
             node_count: self.mem.nodes(),
             aux_bytes: 0,
             key_count: self.len(),
+            capacity_bytes: 0,
         }
     }
 
@@ -1314,6 +1315,271 @@ unsafe impl<S: Sync> Sync for ConcurrentHot<S> {}
 // SAFETY: nodes are plain heap allocations owned (transitively) by the
 // index; moving the index to another thread moves exclusive ownership.
 unsafe impl<S: Send> Send for ConcurrentHot<S> {}
+
+// ---- concurrent facade over the compact arena layout ------------------------
+
+use crate::arena::{
+    ArenaFull, ArenaStats, CompactBatchCursor, CompactInner, CompactScanCursor, CompactScratch,
+};
+use hot_keys::MAX_KEY_LEN;
+
+/// Concurrent wrapper over the arena-backed compact layout
+/// ([`CompactHot`](crate::CompactHot)): wait-free readers over 32-bit
+/// offset words, a single serialized writer, and epoch-deferred node-block
+/// reclamation.
+///
+/// The publish/retire protocol is simpler than full ROWEX because the
+/// compact backend already funnels every structural change through one
+/// `Release` store (a child slot or the root word) and arena slabs are
+/// never unmapped while the index lives:
+///
+/// * **readers** pin an epoch and traverse with acquire loads of the slab
+///   table, child slots and root — no locks, no restarts; front-coded
+///   leaf bytes are immutable once published, so reconstruction needs no
+///   synchronization at all;
+/// * **the writer** (one at a time, serialized by an internal mutex)
+///   builds copy-on-write nodes in fresh arena blocks, publishes with one
+///   `Release` store, and defers the replaced blocks' return to the
+///   node-arena free list until all pinned epochs have moved on;
+/// * **leaf records** are append-only and never reclaimed individually
+///   (superseded records are dead-byte accounting only), so readers can
+///   keep walking a front-coding chain across any number of concurrent
+///   upserts.
+pub struct ConcurrentCompact {
+    inner: Arc<CompactInner>,
+    /// Serializes writers; also owns the reusable mutation scratch.
+    scratch: std::sync::Mutex<CompactScratch>,
+}
+
+impl Default for ConcurrentCompact {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ConcurrentCompact {
+    /// An empty index with the default arena ceilings.
+    pub fn new() -> Self {
+        Self::with_capacity(crate::arena::DEFAULT_NODE_CAP, crate::arena::DEFAULT_LEAF_CAP)
+    }
+
+    /// An empty index with explicit node/leaf arena byte ceilings.
+    pub fn with_capacity(node_cap_bytes: usize, leaf_cap_bytes: usize) -> Self {
+        ConcurrentCompact {
+            inner: Arc::new(CompactInner::new(node_cap_bytes, leaf_cap_bytes)),
+            scratch: std::sync::Mutex::new(CompactScratch::new()),
+        }
+    }
+
+    /// Number of stored keys. Exact only when quiesced.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// True when no keys are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Look up `key`; returns its TID if present. Wait-free.
+    pub fn get(&self, key: &[u8]) -> Option<u64> {
+        let padded = PaddedKey::from_key(key);
+        let _guard = epoch::pin();
+        let mut buf = [0u8; MAX_KEY_LEN];
+        self.inner.get_padded(&padded, &mut buf)
+    }
+
+    /// Like [`get`](Self::get) with a caller-provided padded-key buffer.
+    pub fn get_with(&self, key: &[u8], buf: &mut PaddedKey) -> Option<u64> {
+        buf.set(key);
+        let _guard = epoch::pin();
+        let mut kb = [0u8; MAX_KEY_LEN];
+        self.inner.get_padded(buf, &mut kb)
+    }
+
+    /// True when `key` is present.
+    pub fn contains(&self, key: &[u8]) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Batched point lookups through a fresh pipeline cursor.
+    ///
+    /// # Panics
+    /// Panics if `out.len() != keys.len()`.
+    pub fn get_batch<K: AsRef<[u8]>>(&self, keys: &[K], out: &mut [Option<u64>]) {
+        let mut cursor = CompactBatchCursor::new();
+        self.get_batch_with(&mut cursor, keys, out);
+    }
+
+    /// Batched point lookups with a caller-owned cursor; one epoch pin
+    /// covers the whole batch.
+    ///
+    /// # Panics
+    /// Panics if `out.len() != keys.len()`.
+    pub fn get_batch_with<K: AsRef<[u8]>>(
+        &self,
+        cursor: &mut CompactBatchCursor,
+        keys: &[K],
+        out: &mut [Option<u64>],
+    ) {
+        assert_eq!(keys.len(), out.len(), "output slice length mismatch");
+        let _guard = epoch::pin();
+        let g = cursor.group();
+        for (kc, oc) in keys.chunks(g).zip(out.chunks_mut(g)) {
+            cursor.run_group(&self.inner, kc, oc);
+        }
+    }
+
+    /// Collect up to `limit` TIDs with keys `>= key`, ascending.
+    pub fn scan(&self, key: &[u8], limit: usize) -> Vec<u64> {
+        let mut out = Vec::with_capacity(limit.min(1024));
+        self.scan_into(key, limit, &mut out);
+        out
+    }
+
+    /// Like [`scan`](Self::scan) into a caller buffer (cleared first).
+    pub fn scan_into(&self, key: &[u8], limit: usize, out: &mut Vec<u64>) {
+        let mut cursor = CompactScanCursor::new();
+        self.scan_with(&mut cursor, key, limit, out);
+    }
+
+    /// Like [`scan`](Self::scan) with a caller-owned reusable cursor
+    /// (`out` is cleared first); one epoch pin covers the whole scan.
+    pub fn scan_with(
+        &self,
+        cursor: &mut CompactScanCursor,
+        key: &[u8],
+        limit: usize,
+        out: &mut Vec<u64>,
+    ) {
+        out.clear();
+        let _guard = epoch::pin();
+        cursor.scan_root(&self.inner, key, limit, out);
+    }
+
+    /// Insert `key -> tid`; returns the previous TID on upsert.
+    ///
+    /// # Panics
+    /// Panics if `tid` exceeds [`MAX_TID`], the key exceeds
+    /// [`MAX_KEY_LEN`] bytes, or an arena ceiling is hit (use
+    /// [`try_insert`](Self::try_insert) to handle that case).
+    pub fn insert(&self, key: &[u8], tid: u64) -> Option<u64> {
+        self.try_insert(key, tid)
+            .unwrap_or_else(|e| panic!("compact insert: {e}"))
+    }
+
+    /// Insert `key -> tid`, reporting arena exhaustion as a typed error.
+    /// On [`ArenaFull`] the tree is unchanged.
+    ///
+    /// # Panics
+    /// Panics if `tid` exceeds [`MAX_TID`] or the key exceeds
+    /// [`MAX_KEY_LEN`] bytes.
+    pub fn try_insert(&self, key: &[u8], tid: u64) -> Result<Option<u64>, ArenaFull> {
+        assert!(tid <= MAX_TID, "tid exceeds MAX_TID");
+        let guard = epoch::pin();
+        let mut s = self.scratch.lock().expect("compact writer mutex poisoned");
+        let mut key_buf = s.key_buf.take().unwrap_or_default();
+        key_buf.set(key);
+        let result = crate::arena::insert_op(&self.inner, &mut s, &key_buf, tid);
+        s.key_buf = Some(key_buf);
+        self.retire_drained(&mut s, &guard);
+        result
+    }
+
+    /// Remove `key`; returns its TID if it was present.
+    ///
+    /// # Panics
+    /// Panics if an arena ceiling is hit while re-encoding a merged node
+    /// (use [`try_remove`](Self::try_remove) to handle that case).
+    pub fn remove(&self, key: &[u8]) -> Option<u64> {
+        self.try_remove(key)
+            .unwrap_or_else(|e| panic!("compact remove: {e}"))
+    }
+
+    /// Remove `key`, reporting arena exhaustion as a typed error. On
+    /// [`ArenaFull`] the tree is unchanged.
+    pub fn try_remove(&self, key: &[u8]) -> Result<Option<u64>, ArenaFull> {
+        let guard = epoch::pin();
+        let mut s = self.scratch.lock().expect("compact writer mutex poisoned");
+        let mut key_buf = s.key_buf.take().unwrap_or_default();
+        key_buf.set(key);
+        let result = crate::arena::remove_op(&self.inner, &mut s, &key_buf);
+        s.key_buf = Some(key_buf);
+        self.retire_drained(&mut s, &guard);
+        result
+    }
+
+    /// Defer every replaced node block's return to the free list until all
+    /// pinned epochs have moved on. (On a failed mutation the list is
+    /// already empty — rollback freed only never-published blocks, which
+    /// no reader can hold.)
+    fn retire_drained(&self, s: &mut CompactScratch, guard: &epoch::Guard) {
+        for r in s.retired.drain(..) {
+            let inner = Arc::clone(&self.inner);
+            // SAFETY: `r` was unlinked by this mutation's single Release
+            // publish; the epoch guarantees no pinned reader still holds
+            // it when the deferred function runs, and the captured Arc
+            // keeps the slabs mapped until then.
+            unsafe {
+                guard.defer_unchecked(move || inner.free_node(r));
+            }
+        }
+    }
+
+    /// Bulk-load sorted `(key, tid)` pairs into an empty index (one
+    /// publish at the end; concurrent readers see the whole tree or
+    /// nothing).
+    ///
+    /// # Panics
+    /// Panics if an arena ceiling is hit mid-build.
+    pub fn bulk_load<K: AsRef<[u8]>>(
+        &self,
+        entries: &[(K, u64)],
+    ) -> Result<usize, BulkLoadError> {
+        let _s = self.scratch.lock().expect("compact writer mutex poisoned");
+        if !self.inner.load_root().is_null() {
+            return Err(BulkLoadError::NotEmpty);
+        }
+        self.inner.bulk_inner(entries)
+    }
+
+    /// Index memory footprint (live bytes plus reserved arena capacity).
+    pub fn memory_stats(&self) -> MemoryStats {
+        self.inner.memory_stats()
+    }
+
+    /// Allocator-level accounting for both arenas. Deferred frees may lag
+    /// behind; exact only when quiesced.
+    pub fn arena_stats(&self) -> ArenaStats {
+        self.inner.arena_stats()
+    }
+
+    /// Leaf-depth histogram. Call on a quiesced index.
+    pub fn depth_stats(&self) -> DepthStats {
+        self.inner.depth_stats()
+    }
+
+    /// Structural fingerprint (see
+    /// [`HotTrie::structure_digest`](crate::HotTrie::structure_digest)).
+    /// Call on a quiesced index.
+    pub fn structure_digest(&self) -> u64 {
+        self.inner.structure_digest()
+    }
+
+    /// Whole-trie invariant walk. Call on a quiesced index.
+    pub fn try_check_invariants(&self) -> Result<crate::InvariantReport, String> {
+        self.inner.try_check_invariants()
+    }
+
+    /// Like [`try_check_invariants`](Self::try_check_invariants) but
+    /// panics on violation.
+    pub fn check_invariants(&self) -> crate::InvariantReport {
+        match self.inner.try_check_invariants() {
+            Ok(report) => report,
+            Err(e) => panic!("compact invariant violation: {e}"),
+        }
+    }
+}
 
 #[cfg(test)]
 mod tests {

@@ -852,6 +852,7 @@ impl<S: KeySource> HotTrie<S> {
             node_count: self.mem.nodes(),
             aux_bytes: 0,
             key_count: self.len,
+            capacity_bytes: 0,
         }
     }
 

@@ -1,0 +1,338 @@
+//! Differential tests for the arena-backed compact layout: [`CompactHot`]
+//! must be **structurally identical** to the heap [`HotTrie`] oracle —
+//! equal `structure_digest`, equal get/iter/scan/remove result checksums —
+//! on all four data sets of the paper's evaluation (url, email, yago,
+//! integer), for incremental insert, bulk load, and interleaved removal.
+//!
+//! Also here: a proptest driving the front-coded leaf encoding across
+//! prefix-boundary key sets (a stored key that is a strict prefix of its
+//! neighbor is the hardest case for `[shared][suffix]` reconstruction),
+//! and typed [`ArenaFull`] exhaustion of the 32-bit offset space under
+//! artificially small arena ceilings.
+
+use hot_core::{ArenaFull, ArenaKind, CompactBatchCursor, CompactHot, CompactScanCursor, HotTrie};
+use hot_keys::{ArenaKeySource, KeySource};
+use hot_ycsb::{Dataset, DatasetKind};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// FNV-1a over a result stream.
+fn fnv1a(words: impl IntoIterator<Item = u64>) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for w in words {
+        for b in w.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+fn opt(v: Option<u64>) -> u64 {
+    v.map_or(u64::MAX, |t| t.wrapping_add(1))
+}
+
+/// Build the heap oracle and the compact trie over the same keys, in the
+/// same (shuffled) insert order.
+fn build_pair(keys: &[Vec<u8>]) -> (HotTrie<Arc<ArenaKeySource>>, CompactHot, Vec<u64>) {
+    let mut arena = ArenaKeySource::new();
+    let tids: Vec<u64> = keys.iter().map(|k| arena.push(k)).collect();
+    let arena = Arc::new(arena);
+    let mut heap = HotTrie::new(Arc::clone(&arena));
+    let mut compact = CompactHot::new();
+    for (k, &tid) in keys.iter().zip(&tids) {
+        assert_eq!(
+            heap.insert(k, tid),
+            compact.insert(k, tid),
+            "insert disagreement on {k:?}"
+        );
+    }
+    (heap, compact, tids)
+}
+
+/// One full differential pass: digest, point gets (hit + miss), batched
+/// gets, in-order iteration, and sampled scans, all reduced to checksums
+/// that must match the oracle exactly.
+fn assert_backends_agree<S: KeySource>(
+    heap: &HotTrie<S>,
+    compact: &CompactHot,
+    keys: &[Vec<u8>],
+    label: &str,
+) {
+    assert_eq!(heap.len(), compact.len(), "{label}: len");
+    assert_eq!(
+        heap.structure_digest(),
+        compact.structure_digest(),
+        "{label}: structure digest"
+    );
+
+    // Point lookups: every stored key plus a mutated (mostly absent) probe.
+    let mut heap_sum = Vec::with_capacity(keys.len() * 2);
+    let mut compact_sum = Vec::with_capacity(keys.len() * 2);
+    let mut probe = Vec::new();
+    for k in keys {
+        heap_sum.push(opt(heap.get(k)));
+        compact_sum.push(opt(compact.get(k)));
+        probe.clear();
+        probe.extend_from_slice(k);
+        let last = probe.len() - 1;
+        probe[last] ^= 0x01;
+        heap_sum.push(opt(heap.get(&probe)));
+        compact_sum.push(opt(compact.get(&probe)));
+    }
+    assert_eq!(fnv1a(heap_sum), fnv1a(compact_sum), "{label}: get checksum");
+
+    // Batched lookups through the pipelined cursor.
+    let mut cursor = CompactBatchCursor::new();
+    let mut heap_out = vec![None; keys.len()];
+    let mut compact_out = vec![None; keys.len()];
+    heap.get_batch(keys, &mut heap_out);
+    compact.get_batch_with(&mut cursor, keys, &mut compact_out);
+    assert_eq!(heap_out, compact_out, "{label}: get_batch");
+
+    // Full in-order iteration.
+    assert_eq!(
+        fnv1a(heap.iter()),
+        fnv1a(compact.iter()),
+        "{label}: iter checksum"
+    );
+
+    // Sampled scans (every 37th key as start, plus its absent mutation).
+    let mut scan_cursor = CompactScanCursor::new();
+    let mut heap_hits = Vec::new();
+    let mut compact_hits = Vec::new();
+    for (i, k) in keys.iter().enumerate().step_by(37) {
+        for limit in [1usize, 17, 100] {
+            heap_hits.clear();
+            heap.scan_into(k, limit, &mut heap_hits);
+            compact_hits.clear();
+            compact.scan_with(&mut scan_cursor, k, limit, &mut compact_hits);
+            assert_eq!(heap_hits, compact_hits, "{label}: scan from key {i}");
+        }
+        probe.clear();
+        probe.extend_from_slice(&k[..k.len() / 2]);
+        heap_hits.clear();
+        heap.scan_into(&probe, 50, &mut heap_hits);
+        compact_hits.clear();
+        compact.scan_with(&mut scan_cursor, &probe, 50, &mut compact_hits);
+        assert_eq!(heap_hits, compact_hits, "{label}: scan from prefix of key {i}");
+    }
+
+    compact.check_invariants();
+}
+
+fn run_dataset(kind: DatasetKind) {
+    let data = Dataset::generate(kind, 6_000, 0xA2E7_0008);
+    let label = kind.label();
+    let (mut heap, mut compact, tids) = build_pair(&data.keys);
+    assert_backends_agree(&heap, &compact, &data.keys, label);
+
+    // Bulk load must reproduce the incremental structure bit-for-bit.
+    let order = data.sorted_order();
+    let sorted: Vec<(&[u8], u64)> = order
+        .iter()
+        .map(|&i| (data.keys[i].as_slice(), tids[i]))
+        .collect();
+    let mut bulk = CompactHot::new();
+    assert_eq!(bulk.bulk_load(&sorted).expect("bulk load"), data.keys.len());
+    assert_eq!(
+        bulk.structure_digest(),
+        compact.structure_digest(),
+        "{label}: bulk vs incremental digest"
+    );
+
+    // Remove ~half (every other key in insert order) from both backends;
+    // returned TIDs and the surviving structure must stay in lockstep.
+    let mut removed = Vec::new();
+    for (i, k) in data.keys.iter().enumerate() {
+        if i % 2 == 0 {
+            removed.push((opt(heap.remove(k)), opt(compact.remove(k))));
+        }
+    }
+    let (h, c): (Vec<u64>, Vec<u64>) = removed.into_iter().unzip();
+    assert_eq!(fnv1a(h), fnv1a(c), "{label}: remove checksum");
+    let survivors: Vec<Vec<u8>> = data
+        .keys
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| i % 2 == 1)
+        .map(|(_, k)| k.clone())
+        .collect();
+    assert_backends_agree(&heap, &compact, &survivors, &format!("{label}/after-remove"));
+}
+
+#[test]
+fn url_backends_agree() {
+    run_dataset(DatasetKind::Url);
+}
+
+#[test]
+fn email_backends_agree() {
+    run_dataset(DatasetKind::Email);
+}
+
+#[test]
+fn yago_backends_agree() {
+    run_dataset(DatasetKind::Yago);
+}
+
+#[test]
+fn integer_backends_agree() {
+    run_dataset(DatasetKind::Integer);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Front-coding round-trip at prefix boundaries: tiny-alphabet words
+    /// give maximal shared prefixes and many stored-key/extension pairs.
+    /// The compact backend must agree with a `BTreeMap` model (and the
+    /// heap oracle's digest) through interleaved inserts, upserts and
+    /// removes.
+    #[test]
+    fn prefix_boundary_front_coding(
+        words in proptest::collection::vec("[a-b]{1,20}", 1..120),
+        removes in proptest::collection::vec(0usize..120, 0..40),
+    ) {
+        let stored: Vec<Vec<u8>> =
+            words.iter().map(|w| hot_keys::str_key(w.as_bytes()).unwrap()).collect();
+        let mut arena = ArenaKeySource::new();
+        let tids: Vec<u64> = stored.iter().map(|k| arena.push(k)).collect();
+        let arena = Arc::new(arena);
+
+        let mut heap = HotTrie::new(Arc::clone(&arena));
+        let mut compact = CompactHot::new();
+        let mut model: BTreeMap<Vec<u8>, u64> = BTreeMap::new();
+        for (k, &tid) in stored.iter().zip(&tids) {
+            prop_assert_eq!(heap.insert(k, tid), compact.insert(k, tid));
+            model.insert(k.clone(), tid);
+        }
+        for &r in &removes {
+            let k = &stored[r % stored.len()];
+            prop_assert_eq!(heap.remove(k), compact.remove(k));
+            model.remove(k);
+        }
+        prop_assert_eq!(heap.structure_digest(), compact.structure_digest());
+        prop_assert_eq!(compact.len(), model.len());
+        for (k, &tid) in &model {
+            prop_assert_eq!(compact.get(k), Some(tid));
+        }
+        let in_order: Vec<u64> = compact.iter().collect();
+        let want: Vec<u64> = model.values().copied().collect();
+        prop_assert_eq!(in_order, want);
+        compact.check_invariants();
+    }
+}
+
+/// 32-bit offset exhaustion surfaces as a typed [`ArenaFull`] carrying the
+/// exhausted arena and its ceiling, and the failed mutation rolls back.
+#[test]
+fn exhaustion_is_typed_and_recoverable() {
+    const SLAB: usize = 1 << 20;
+    let mut trie = CompactHot::with_capacity(SLAB, usize::MAX);
+    let mut n = 0u64;
+    let err: ArenaFull = loop {
+        match trie.try_insert(format!("k{n:08}").as_bytes(), n) {
+            Ok(_) => n += 1,
+            Err(e) => break e,
+        }
+    };
+    assert_eq!(err.kind, ArenaKind::Node);
+    assert_eq!(err.capacity, SLAB);
+    assert!(err.requested > 0);
+    assert!(!err.to_string().is_empty());
+    assert_eq!(trie.len(), n as usize);
+    trie.check_invariants();
+
+    let mut leaf_bound = CompactHot::with_capacity(usize::MAX, SLAB);
+    let mut m = 0u64;
+    let err = loop {
+        let key = format!("{:032x}/{}", m.wrapping_mul(0x9E37_79B9_7F4A_7C15), "y".repeat(160));
+        match leaf_bound.try_insert(key.as_bytes(), m) {
+            Ok(_) => m += 1,
+            Err(e) => break e,
+        }
+    };
+    assert_eq!(err.kind, ArenaKind::Leaf);
+    assert_eq!(leaf_bound.len(), m as usize);
+    leaf_bound.check_invariants();
+}
+
+/// Concurrent wrapper: readers race a writer through inserts, upserts and
+/// removes; every lookup must return either a value the key held at some
+/// point or a miss while absent, and the quiesced end state must match the
+/// single-threaded compact backend exactly.
+#[test]
+fn concurrent_compact_churn() {
+    use hot_core::sync::ConcurrentCompact;
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    let index = Arc::new(ConcurrentCompact::new());
+    let keys: Arc<Vec<Vec<u8>>> = Arc::new(
+        (0..4_000u64)
+            .map(|i| format!("churn/{:06}", i.wrapping_mul(2654435761) % 1_000_000).into_bytes())
+            .collect(),
+    );
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let mut readers = Vec::new();
+    for t in 0..3 {
+        let index = Arc::clone(&index);
+        let keys = Arc::clone(&keys);
+        let stop = Arc::clone(&stop);
+        readers.push(std::thread::spawn(move || {
+            let mut hits = 0u64;
+            let mut out = Vec::new();
+            let mut cursor = CompactScanCursor::new();
+            let mut round = 0usize;
+            while !stop.load(Ordering::Relaxed) {
+                for (i, k) in keys.iter().enumerate().skip(t).step_by(3) {
+                    // TIDs are always the key's index (upserts rewrite
+                    // the same value), so a hit must be exact.
+                    if let Some(tid) = index.get(k) {
+                        assert_eq!(tid as usize, i % 2_000, "reader {t} key {i}");
+                        hits += 1;
+                    }
+                    if i % 97 == 0 {
+                        index.scan_with(&mut cursor, k, 5, &mut out);
+                        assert!(out.len() <= 5);
+                    }
+                }
+                round += 1;
+                if round > 10_000 {
+                    break;
+                }
+            }
+            hits
+        }));
+    }
+
+    // Writer: two full passes of insert/upsert, one pass removing half.
+    for pass in 0..2 {
+        for (i, k) in keys.iter().enumerate() {
+            index.insert(k, (i % 2_000) as u64);
+            if pass == 1 && i % 2 == 0 {
+                index.remove(k);
+            }
+        }
+    }
+    stop.store(true, Ordering::Relaxed);
+    for r in readers {
+        r.join().expect("reader panicked");
+    }
+
+    // Quiesced: replay the same operations single-threaded and compare.
+    let mut oracle = CompactHot::new();
+    for pass in 0..2 {
+        for (i, k) in keys.iter().enumerate() {
+            oracle.insert(k, (i % 2_000) as u64);
+            if pass == 1 && i % 2 == 0 {
+                oracle.remove(k);
+            }
+        }
+    }
+    assert_eq!(index.len(), oracle.len());
+    assert_eq!(index.structure_digest(), oracle.structure_digest());
+    index.check_invariants();
+}

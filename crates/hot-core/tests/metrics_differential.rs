@@ -345,3 +345,46 @@ fn concurrent_counters_are_exact_across_threads() {
     assert_eq!(d.rowex.get(RowexCounter::EpochPin), 1, "one pin per batch");
     assert_eq!(d.op(OpKind::GetBatch).count, 1);
 }
+
+/// `HOT_ARENA=1` shadow lane: under the `metrics` build the compact arena
+/// backend (which carries no instrumentation by design) must still agree
+/// with the instrumented heap trie answer-for-answer, and exercising it
+/// must not tick the heap trie's counters. A no-op unless the environment
+/// opts in — CI runs this lane once more with `HOT_ARENA=1`.
+#[test]
+fn arena_shadow_agrees_under_metrics_build() {
+    if std::env::var_os("HOT_ARENA").is_none() {
+        return;
+    }
+    use hot_core::CompactHot;
+
+    let mut trie = HotTrie::new(EmbeddedKeySource);
+    let mut compact = CompactHot::new();
+    for v in 0..4_000u64 {
+        // EmbeddedKeySource resolves keys from TIDs, so the TID must be
+        // the encoded value itself.
+        let tid = v.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 1;
+        let k = encode_u64(tid);
+        assert_eq!(trie.insert(&k, tid), compact.insert(&k, tid));
+    }
+    assert_eq!(trie.structure_digest(), compact.structure_digest());
+
+    let baseline = trie.metrics_snapshot();
+    let mut hits = 0usize;
+    for v in 0..4_000u64 {
+        let k = encode_u64(v.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 1);
+        hits += usize::from(compact.get(&k).is_some());
+        compact.scan(&k, 3);
+    }
+    assert_eq!(hits, 4_000);
+    let after = trie.metrics_snapshot().since(&baseline);
+    assert_eq!(after.op(OpKind::Get).count, 0, "compact ops must not tick heap counters");
+    assert_eq!(after.op(OpKind::Scan).count, 0);
+
+    // And the instrumented heap results still match the compact ones.
+    for v in (0..4_000u64).step_by(11) {
+        let k = encode_u64(v.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 1);
+        assert_eq!(trie.get(&k), compact.get(&k));
+        assert_eq!(trie.scan(&k, 9), compact.scan(&k, 9));
+    }
+}

@@ -369,3 +369,60 @@ fn concurrent_churn_preserves_stable_keys_and_quiesced_equality() {
     assert_eq!(checksum_out(&out), checksum_out(&expected));
     assert_eq!(out, expected);
 }
+
+/// `HOT_ARENA=1` shadow lane: the compact arena backend's pipelined batch
+/// lookups and scalar scans must be byte-identical to the heap scheduler's
+/// answers on all four distributions. A no-op unless the environment opts
+/// in — CI runs this file once more with `HOT_ARENA=1` in both the normal
+/// and `HOT_FORCE_SCALAR` jobs.
+#[test]
+fn arena_shadow_batches_byte_identical() {
+    if std::env::var_os("HOT_ARENA").is_none() {
+        return;
+    }
+    use hot_core::sync::ConcurrentCompact;
+    use hot_core::{CompactBatchCursor, CompactHot, CompactScanCursor};
+
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xBEE5);
+    for (name, keys) in datasets() {
+        let mut arena = ArenaKeySource::new();
+        let tids: Vec<u64> = keys.iter().map(|k| arena.push(k)).collect();
+        let arena = Arc::new(arena);
+        let mut trie = HotTrie::new(Arc::clone(&arena));
+        let mut compact = CompactHot::new();
+        let csync = ConcurrentCompact::new();
+        for (k, &tid) in keys.iter().zip(&tids) {
+            trie.insert(k, tid);
+            compact.insert(k, tid);
+            csync.insert(k, tid);
+        }
+        let probes = probes_for(&keys, &mut rng);
+
+        let expected: Vec<Option<u64>> = probes.iter().map(|k| trie.get(k)).collect();
+        let want = checksum_out(&expected);
+
+        let mut cursor = CompactBatchCursor::new();
+        let mut out = vec![None; probes.len()];
+        compact.get_batch_with(&mut cursor, &probes, &mut out);
+        assert_eq!(checksum_out(&out), want, "{name}: compact batch checksum");
+        assert_eq!(out, expected, "{name}: compact batch results");
+
+        csync.get_batch_with(&mut cursor, &probes, &mut out);
+        assert_eq!(checksum_out(&out), want, "{name}: concurrent compact batch");
+
+        // Sampled scans against the heap truth.
+        let mut scan_cursor = CompactScanCursor::new();
+        let mut heap_hits = Vec::new();
+        let mut compact_hits = Vec::new();
+        for (i, p) in probes.iter().enumerate().step_by(7) {
+            let limit = (i * 13) % 40;
+            trie.scan_into(p, limit, &mut heap_hits);
+            compact.scan_with(&mut scan_cursor, p, limit, &mut compact_hits);
+            assert_eq!(heap_hits, compact_hits, "{name}: compact scan probe {i}");
+            csync.scan_with(&mut scan_cursor, p, limit, &mut compact_hits);
+            assert_eq!(heap_hits, compact_hits, "{name}: concurrent compact scan probe {i}");
+        }
+        compact.check_invariants();
+        csync.check_invariants();
+    }
+}

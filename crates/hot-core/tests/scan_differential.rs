@@ -210,3 +210,62 @@ fn degenerate_roots() {
         3,
     );
 }
+
+/// `HOT_ARENA=1` shadow lane: replay the nested-prefix-chain and integer
+/// probes on the arena-backed compact backend (single-threaded and
+/// concurrent) and hold it to the same `BTreeMap::range` truth. A no-op
+/// unless the environment opts in — CI runs this file once more with
+/// `HOT_ARENA=1` in both the normal and `HOT_FORCE_SCALAR` jobs.
+#[test]
+fn arena_shadow_scans() {
+    if std::env::var_os("HOT_ARENA").is_none() {
+        return;
+    }
+    use hot_core::sync::ConcurrentCompact;
+    use hot_core::{CompactHot, CompactScanCursor};
+
+    let base = b"abcabcabc";
+    let mut stored: Vec<Vec<u8>> =
+        (1..=base.len()).map(|n| hot_keys::str_key(&base[..n]).unwrap()).collect();
+    for v in 0..400u64 {
+        stored.push(encode_u64(v * 97).to_vec());
+    }
+
+    let mut compact = CompactHot::new();
+    let sync = ConcurrentCompact::new();
+    let mut model: BTreeMap<Vec<u8>, u64> = BTreeMap::new();
+    for (tid, k) in stored.iter().enumerate() {
+        compact.insert(k, tid as u64);
+        sync.insert(k, tid as u64);
+        model.insert(k.clone(), tid as u64);
+    }
+
+    let mut probes: Vec<Vec<u8>> = Vec::new();
+    for n in 0..=base.len() {
+        probes.push(base[..n].to_vec());
+        probes.push(hot_keys::str_key(&base[..n]).unwrap());
+    }
+    for v in [0u64, 96, 97, 19_399, 19_400, u64::MAX] {
+        probes.push(encode_u64(v).to_vec());
+    }
+
+    let mut cursor = CompactScanCursor::new();
+    let mut out = Vec::new();
+    for p in &probes {
+        for limit in [0usize, 1, 3, 1000] {
+            let want: Vec<u64> =
+                model.range(p.clone()..).take(limit).map(|(_, &v)| v).collect();
+            assert_eq!(compact.scan(p, limit), want, "CompactHot::scan from {p:?}");
+            compact.scan_with(&mut cursor, p, limit, &mut out);
+            assert_eq!(out, want, "CompactHot::scan_with from {p:?}");
+            assert_eq!(sync.scan(p, limit), want, "ConcurrentCompact::scan from {p:?}");
+            sync.scan_with(&mut cursor, p, limit, &mut out);
+            assert_eq!(out, want, "ConcurrentCompact::scan_with from {p:?}");
+        }
+        let from: Vec<u64> = compact.range_from(p).collect();
+        let want: Vec<u64> = model.range(p.clone()..).map(|(_, &v)| v).collect();
+        assert_eq!(from, want, "CompactHot::range_from {p:?}");
+    }
+    compact.check_invariants();
+    sync.check_invariants();
+}

@@ -151,6 +151,15 @@ impl ArenaKeySource {
     pub fn raw_key_bytes(&self) -> usize {
         self.data.len() - self.count
     }
+
+    /// Allocator-level bytes held by the key store: the record `Vec`'s
+    /// reserved capacity, length prefixes and growth slack included. This
+    /// is the tuple-store side of a TID-only index's total footprint — the
+    /// storage a heap-backed trie still needs at lookup time to resolve a
+    /// TID back into its key.
+    pub fn capacity_bytes(&self) -> usize {
+        self.data.capacity()
+    }
 }
 
 impl KeySource for ArenaKeySource {

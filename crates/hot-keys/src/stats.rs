@@ -104,12 +104,32 @@ pub struct MemoryStats {
     pub aux_bytes: usize,
     /// Number of keys indexed.
     pub key_count: usize,
+    /// Bytes the index's allocator has reserved from the OS, including
+    /// slack not yet occupied by live data (0 when the index has no
+    /// arena-level accounting — i.e. reservation tracks live bytes).
+    pub capacity_bytes: usize,
 }
 
 impl MemoryStats {
     /// Total index footprint in bytes.
     pub fn total_bytes(&self) -> usize {
         self.node_bytes + self.aux_bytes
+    }
+
+    /// Allocator-level footprint: reserved capacity where tracked, else
+    /// the live-byte total. This is what fig9 reports — what the process
+    /// actually holds, not a `size_of` summation.
+    pub fn footprint_bytes(&self) -> usize {
+        self.capacity_bytes.max(self.total_bytes())
+    }
+
+    /// Allocator-level bytes per key (see
+    /// [`footprint_bytes`](Self::footprint_bytes)).
+    pub fn footprint_per_key(&self) -> f64 {
+        if self.key_count == 0 {
+            return 0.0;
+        }
+        self.footprint_bytes() as f64 / self.key_count as f64
     }
 
     /// Index bytes per key — the paper's headline space metric
@@ -167,8 +187,16 @@ mod tests {
             node_count: 10,
             aux_bytes: 0,
             key_count: 100,
+            capacity_bytes: 0,
         };
         assert_eq!(m.total_bytes(), 1150);
         assert!((m.bytes_per_key() - 11.5).abs() < 1e-12);
+        assert_eq!(m.footprint_bytes(), 1150);
+        let reserved = MemoryStats {
+            capacity_bytes: 2048,
+            ..m
+        };
+        assert_eq!(reserved.footprint_bytes(), 2048);
+        assert!((reserved.footprint_per_key() - 20.48).abs() < 1e-12);
     }
 }

@@ -335,6 +335,7 @@ impl<S: KeySource> Masstree<S> {
             node_count,
             aux_bytes: ksuf,
             key_count: self.len,
+            capacity_bytes: 0,
         }
     }
 

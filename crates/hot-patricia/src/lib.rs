@@ -318,6 +318,7 @@ impl<S: KeySource> PatriciaTree<S> {
             node_count,
             aux_bytes: 0,
             key_count: self.len,
+            capacity_bytes: 0,
         }
     }
 

@@ -1,20 +1,26 @@
 //! `cargo xtask bench-check` — the CI perf-regression gate.
 //!
 //! Runs the fig8 smoke benchmark (`--keys 50000 --ops 50000 --batch 8
-//! --bulk --ooo`) in a scratch working directory (`target/bench-check/`,
-//! so the checked-in `results/` files are never clobbered). Because a
+//! --bulk --ooo`) plus the fig9 arena-footprint smoke (`--keys 50000
+//! --arena`) in a scratch working directory (`target/bench-check/`, so
+//! the checked-in `results/` files are never clobbered). Because a
 //! 50 k-op smoke cell is noisy on shared hosts, the smoke runs
 //! `BENCH_CHECK_RUNS` times (default 3) and the two sides of the
 //! comparison take opposite extremes: `bench-check --update` records each
-//! `*_mops` field's WORST observation as the committed baseline under
+//! field's WORST observation as the committed baseline under
 //! `results/baselines/` — a floor the build demonstrably clears even on a
 //! bad scheduling day — while a check judges each field by its BEST
-//! observation. A field fails only when every fresh pass lands below the
-//! floor by more than the tolerance — 25% by default, overridable via the
-//! `BENCH_CHECK_TOLERANCE` env var (e.g. `0.40`); only downside
-//! deviations fail, speedups are fine. Real code regressions are
-//! persistent across passes, so they fall through the floor; scheduler
-//! hiccups do not survive the max.
+//! observation. A field fails only when every fresh pass lands on the bad
+//! side of the floor by more than the tolerance — 25% by default,
+//! overridable via the `BENCH_CHECK_TOLERANCE` env var (e.g. `0.40`);
+//! only bad-direction deviations fail, improvements are fine. Real code
+//! regressions are persistent across passes, so they fall through the
+//! floor; scheduler hiccups do not survive the extreme fold.
+//!
+//! Two field families with opposite polarities are gated: `*_mops`
+//! throughputs (higher is better) and `*_bpk` bytes-per-key memory
+//! footprints from `BENCH_arena.json` (lower is better — "worst" is the
+//! maximum, a regression is growth past the baseline ceiling).
 
 use crate::json::{self, Json};
 use std::path::Path;
@@ -26,13 +32,26 @@ const SMOKE_ARGS: &[&str] = &[
     "--keys", "50000", "--ops", "50000", "--batch", "8", "--bulk", "--threads", "1,2", "--ooo",
 ];
 
-/// The JSON reports the fig8 smoke produces and gates on.
+/// The fig9 arena-footprint smoke: memory accounting is deterministic at
+/// fixed keys/seed, so this side of the gate is noise-free. `--bulk` makes
+/// the arena fill append in key order — the front-coded layout the space
+/// claim is about.
+const ARENA_SMOKE_ARGS: &[&str] = &["--keys", "50000", "--arena", "--bulk"];
+
+/// The JSON reports the smokes produce and gate on.
 const BENCH_FILES: &[&str] = &[
     "BENCH_batch.json",
     "BENCH_scan.json",
     "BENCH_bulk.json",
     "BENCH_ooo.json",
+    "BENCH_arena.json",
 ];
+
+/// `*_bpk` fields gate memory footprint: lower is better, so the fold and
+/// the comparison run with inverted polarity relative to `*_mops`.
+fn lower_is_better(field: &str) -> bool {
+    field.ends_with("_bpk")
+}
 
 /// Run the gate (or refresh the committed baselines with `--update`).
 pub fn bench_check(update: bool) -> ExitCode {
@@ -66,24 +85,30 @@ pub fn bench_check(update: bool) -> ExitCode {
     let mut floor: BestTable = Vec::new();
     for run in 1..=runs {
         let _ = std::fs::remove_dir_all(&fresh_dir);
-        eprintln!(
-            "bench-check: fig8 smoke run {run}/{runs} ({})",
-            SMOKE_ARGS.join(" ")
-        );
-        let status = Command::new(&cargo)
-            .args(["run", "--release", "-p", "hot-bench", "--bin", "fig8_throughput", "--"])
-            .args(SMOKE_ARGS)
-            .current_dir(&scratch)
-            .status();
-        match status {
-            Ok(s) if s.success() => {}
-            Ok(s) => {
-                eprintln!("bench-check: fig8 smoke failed with {s}");
-                return ExitCode::FAILURE;
-            }
-            Err(e) => {
-                eprintln!("bench-check: cannot spawn cargo: {e}");
-                return ExitCode::FAILURE;
+        let smokes: [(&str, &[&str]); 2] = [
+            ("fig8_throughput", SMOKE_ARGS),
+            ("fig9_memory", ARENA_SMOKE_ARGS),
+        ];
+        for (bin, args) in smokes {
+            eprintln!(
+                "bench-check: {bin} smoke run {run}/{runs} ({})",
+                args.join(" ")
+            );
+            let status = Command::new(&cargo)
+                .args(["run", "--release", "-p", "hot-bench", "--bin", bin, "--"])
+                .args(args)
+                .current_dir(&scratch)
+                .status();
+            match status {
+                Ok(s) if s.success() => {}
+                Ok(s) => {
+                    eprintln!("bench-check: {bin} smoke failed with {s}");
+                    return ExitCode::FAILURE;
+                }
+                Err(e) => {
+                    eprintln!("bench-check: cannot spawn cargo: {e}");
+                    return ExitCode::FAILURE;
+                }
             }
         }
         for name in BENCH_FILES {
@@ -94,8 +119,8 @@ pub fn bench_check(update: bool) -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             };
-            merge_fold(&mut best, name, rows.clone(), f64::max);
-            merge_fold(&mut floor, name, rows, f64::min);
+            merge_fold(&mut best, name, rows.clone(), Fold::Best);
+            merge_fold(&mut floor, name, rows, Fold::Floor);
         }
     }
 
@@ -158,19 +183,37 @@ pub fn bench_check(update: bool) -> ExitCode {
                     continue;
                 };
                 checked += 1;
-                let floor = base * (1.0 - tolerance);
                 let ratio = if *base > 0.0 { new / base } else { 1.0 };
-                if *new < floor {
-                    failures.push(format!(
-                        "{name}: {key}.{field} regressed: baseline {base:.3} -> {new:.3} Mops ({:.0}% of baseline, floor {:.0}%)",
-                        ratio * 100.0,
-                        (1.0 - tolerance) * 100.0
-                    ));
+                if lower_is_better(field) {
+                    // Memory footprint: the baseline is a ceiling; growth
+                    // past it by more than the tolerance fails.
+                    let ceiling = base * (1.0 + tolerance);
+                    if *new > ceiling {
+                        failures.push(format!(
+                            "{name}: {key}.{field} regressed: baseline {base:.3} -> {new:.3} B/key ({:.0}% of baseline, ceiling {:.0}%)",
+                            ratio * 100.0,
+                            (1.0 + tolerance) * 100.0
+                        ));
+                    } else {
+                        println!(
+                            "bench-check: ok {key}.{field}: {base:.3} -> {new:.3} B/key ({:.0}%)",
+                            ratio * 100.0
+                        );
+                    }
                 } else {
-                    println!(
-                        "bench-check: ok {key}.{field}: {base:.3} -> {new:.3} Mops ({:.0}%)",
-                        ratio * 100.0
-                    );
+                    let floor = base * (1.0 - tolerance);
+                    if *new < floor {
+                        failures.push(format!(
+                            "{name}: {key}.{field} regressed: baseline {base:.3} -> {new:.3} Mops ({:.0}% of baseline, floor {:.0}%)",
+                            ratio * 100.0,
+                            (1.0 - tolerance) * 100.0
+                        ));
+                    } else {
+                        println!(
+                            "bench-check: ok {key}.{field}: {base:.3} -> {new:.3} Mops ({:.0}%)",
+                            ratio * 100.0
+                        );
+                    }
                 }
             }
         }
@@ -203,9 +246,31 @@ type RowTable = Vec<(String, Vec<(String, f64)>)>;
 /// Per-field best-of-N accumulator: `(file name, rows)`.
 type BestTable = Vec<(String, RowTable)>;
 
-/// Fold one run's rows into a per-field accumulator with `pick`
-/// (`f64::max` for the check side, `f64::min` for the baseline floor).
-fn merge_fold(table: &mut BestTable, name: &str, rows: RowTable, pick: fn(f64, f64) -> f64) {
+/// Which extreme a fold keeps per field. The check side keeps each
+/// field's most favorable observation, the baseline side its least
+/// favorable — and "favorable" flips for [`lower_is_better`] fields.
+#[derive(Clone, Copy)]
+enum Fold {
+    /// Check side: max for `*_mops`, min for `*_bpk`.
+    Best,
+    /// Baseline side: min for `*_mops`, max for `*_bpk`.
+    Floor,
+}
+
+impl Fold {
+    fn pick(self, field: &str, old: f64, new: f64) -> f64 {
+        let keep_max = matches!(self, Fold::Best) != lower_is_better(field);
+        if keep_max {
+            old.max(new)
+        } else {
+            old.min(new)
+        }
+    }
+}
+
+/// Fold one run's rows into a per-field accumulator, keeping the `side`'s
+/// extreme per field.
+fn merge_fold(table: &mut BestTable, name: &str, rows: RowTable, side: Fold) {
     let fi = table.iter().position(|(n, _)| n == name).unwrap_or_else(|| {
         table.push((name.to_string(), Vec::new()));
         table.len() - 1
@@ -219,7 +284,7 @@ fn merge_fold(table: &mut BestTable, name: &str, rows: RowTable, pick: fn(f64, f
         let row = &mut file[ri].1;
         for (field, value) in fields {
             match row.iter_mut().find(|(f, _)| *f == field) {
-                Some((_, old)) => *old = pick(*old, value),
+                Some((_, old)) => *old = side.pick(&field, *old, value),
                 None => row.push((field, value)),
             }
         }
@@ -232,7 +297,7 @@ fn merge_fold(table: &mut BestTable, name: &str, rows: RowTable, pick: fn(f64, f
 fn write_baseline(path: &Path, runs: usize, rows: &[(String, Vec<(String, f64)>)]) -> Result<(), String> {
     let mut out = String::from("{\n");
     out.push_str(&format!(
-        "  \"note\": \"bench-check floor: per-field minimum across {runs} fig8 smoke passes\",\n"
+        "  \"note\": \"bench-check baseline: per-field worst observation across {runs} smoke passes (min for *_mops, max for *_bpk)\",\n"
     ));
     out.push_str("  \"rows\": [\n");
     for (i, (key, fields)) in rows.iter().enumerate() {
@@ -266,11 +331,14 @@ fn load_rows(path: &Path) -> Result<RowTable, String> {
         let fields: Vec<(String, f64)> = row
             .entries()
             .iter()
-            .filter(|(name, _)| name.ends_with("_mops"))
+            .filter(|(name, _)| name.ends_with("_mops") || lower_is_better(name))
             .filter_map(|(name, v)| v.as_f64().map(|x| (name.clone(), x)))
             .collect();
         if fields.is_empty() {
-            return Err(format!("{}: row {key} has no *_mops fields", path.display()));
+            return Err(format!(
+                "{}: row {key} has no *_mops/*_bpk fields",
+                path.display()
+            ));
         }
         out.push((key, fields));
     }
@@ -312,11 +380,35 @@ mod tests {
         let mut best: BestTable = Vec::new();
         let mut floor: BestTable = Vec::new();
         for rows in [run1, run2] {
-            merge_fold(&mut best, "BENCH_batch.json", rows.clone(), f64::max);
-            merge_fold(&mut floor, "BENCH_batch.json", rows, f64::min);
+            merge_fold(&mut best, "BENCH_batch.json", rows.clone(), Fold::Best);
+            merge_fold(&mut floor, "BENCH_batch.json", rows, Fold::Floor);
         }
         assert_eq!(best[0].1[0].1[0].1, 3.0);
         assert_eq!(floor[0].1[0].1[0].1, 2.0);
+    }
+
+    #[test]
+    fn bpk_fields_fold_with_inverted_polarity() {
+        let run1 = vec![(
+            "url/HOT-arena".to_string(),
+            vec![("arena_bpk".to_string(), 44.0)],
+        )];
+        let run2 = vec![(
+            "url/HOT-arena".to_string(),
+            vec![("arena_bpk".to_string(), 46.0)],
+        )];
+        let mut best: BestTable = Vec::new();
+        let mut floor: BestTable = Vec::new();
+        for rows in [run1, run2] {
+            merge_fold(&mut best, "BENCH_arena.json", rows.clone(), Fold::Best);
+            merge_fold(&mut floor, "BENCH_arena.json", rows, Fold::Floor);
+        }
+        // Lower is better: the check side keeps the minimum, the baseline
+        // the maximum (a ceiling the build demonstrably stays under).
+        assert_eq!(best[0].1[0].1[0].1, 44.0);
+        assert_eq!(floor[0].1[0].1[0].1, 46.0);
+        assert!(lower_is_better("arena_bpk"));
+        assert!(!lower_is_better("scalar_mops"));
     }
 
     #[test]
