@@ -31,13 +31,13 @@
 //! cargo run --release -p hot-bench --bin fig10_scalability -- --keys 1000000 --ops 2000000 --threads 1,2,4,8
 //! ```
 
-use hot_bench::{mops, row, BenchData, Config};
+use hot_bench::{mops, row, run_transactions_sharded, BenchData, Config};
 #[cfg(feature = "metrics")]
 use hot_core::hot_metrics::RowexCounter;
 use hot_core::sync::ConcurrentHot;
-use hot_core::{BatchCursor, MlpScheduler};
+use hot_core::{BatchCursor, MlpScheduler, RouterScratch, ShardedHot};
 use hot_keys::PaddedKey;
-use hot_ycsb::{Dataset, DatasetKind};
+use hot_ycsb::{Dataset, DatasetKind, RequestDistribution, Workload, WorkloadRun};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::sync::Arc;
@@ -129,6 +129,205 @@ fn main() {
     }
     if !metrics_rows.is_empty() {
         write_metrics_json(&config, &metrics_rows);
+    }
+    if !config.shards.is_empty() {
+        run_sharded_section(&config);
+    }
+}
+
+/// `--shards a,b,c`: the thread-per-core sharded execution layer
+/// (DESIGN.md §17) against the single-trie out-of-order baseline, on the
+/// integer and url data sets. Per shard count: one routed
+/// `get_batch_with` over the full shuffled key set (classify → per-shard
+/// queues → shard-grouped drain windows) and one YCSB-C pass through the
+/// [`run_transactions_sharded`] dispatch driver, with routing balance as
+/// max/mean shard load. `--pin` builds the pooled configuration —
+/// shard-affine worker threads pinned to cores — instead of the inline
+/// single-driver router that a one-core host measures best.
+fn run_sharded_section(config: &Config) {
+    // Unless `--keys` was explicit, floor this section at 4 M keys: the
+    // routed path's win grows with trie depth — classify cost is flat per
+    // key while the per-descent cache-miss saving of the shallower
+    // per-shard tries grows — so small key sets understate it.
+    let n = if config.keys_explicit {
+        config.keys
+    } else {
+        config.keys.max(4_000_000)
+    };
+    let window = 1024usize;
+    println!(
+        "# Sharded router: aggregate lookup + YCSB-C throughput vs the single trie (keys={n}, ops={}, {})",
+        config.ops,
+        if config.pin { "pinned worker pool" } else { "inline router" },
+    );
+    row(&[
+        "op".into(),
+        "dataset".into(),
+        "shards".into(),
+        "mops".into(),
+        "vs_single".into(),
+        "imbalance".into(),
+    ]);
+    let mut json_rows: Vec<String> = Vec::new();
+    for kind in [DatasetKind::Integer, DatasetKind::Url] {
+        let data = BenchData::new(Dataset::generate(kind, n, config.seed));
+        let order = data.dataset.sorted_order();
+        let entries: Vec<(&[u8], u64)> = order
+            .iter()
+            .map(|&i| (data.dataset.keys[i].as_slice(), data.tids[i]))
+            .collect();
+        // Every loaded key probed once, in shuffled order.
+        let mut rng = StdRng::seed_from_u64(config.seed ^ 0x5AAD);
+        let mut probes: Vec<&[u8]> = data.dataset.keys.iter().map(|k| k.as_slice()).collect();
+        for i in (1..probes.len()).rev() {
+            probes.swap(i, rng.gen_range(0..=i));
+        }
+
+        // Single-trie baseline: a 1-shard inline router — its one shard
+        // IS a plain `ConcurrentHot`, driven with chunked out-of-order
+        // batches, and the same instance serves the YCSB-C baseline (and
+        // its checksum, which every sharded pass must reproduce).
+        let baseline = ShardedHot::inline_router(Arc::clone(&data.arena), 1);
+        baseline
+            .bulk_load(&entries)
+            .expect("sorted distinct entries into an empty trie");
+        let mut sched = MlpScheduler::new();
+        let mut out = vec![None; window];
+        let mut single_mops = 0f64;
+        let mut hits = 0u64;
+        for rep in 0..6 {
+            let t = Instant::now();
+            let mut h = 0u64;
+            for chunk in probes.chunks(window) {
+                baseline
+                    .shard(0)
+                    .get_batch_ooo(chunk, &mut out[..chunk.len()], &mut sched);
+                h += out[..chunk.len()].iter().flatten().count() as u64;
+            }
+            let m = mops(probes.len(), t.elapsed().as_secs_f64());
+            // First rep warms the page cache and branch history; score
+            // the best of the rest.
+            if rep > 0 {
+                single_mops = single_mops.max(m);
+            }
+            hits = h;
+        }
+        assert_eq!(hits, probes.len() as u64, "every loaded key found");
+        let run = WorkloadRun::new(
+            Workload::C,
+            RequestDistribution::Uniform,
+            n,
+            config.ops,
+            config.seed,
+        );
+        // Dispatch planning amortizes over large read batches (the
+        // router's own drain window), not the scalar-driver group size.
+        let ycsb_batch = config.batch.max(window);
+        let (ycsb_single, check_single) =
+            run_transactions_sharded(&baseline, &data, &run, ycsb_batch);
+        let label = kind.label();
+        row(&[
+            "lookup_ooo".into(),
+            label.into(),
+            "1".into(),
+            format!("{single_mops:.3}"),
+            "1.00".into(),
+            "-".into(),
+        ]);
+        row(&[
+            "ycsb_c".into(),
+            label.into(),
+            "1".into(),
+            format!("{ycsb_single:.3}"),
+            "1.00".into(),
+            "-".into(),
+        ]);
+        json_rows.push(format!(
+            "{{\"dataset\": \"{label}\", \"structure\": \"single\", \"lookup_ooo_mops\": {single_mops:.3}, \"ycsb_c_mops\": {ycsb_single:.3}}}"
+        ));
+
+        for &s in &config.shards {
+            let sharded = if config.pin {
+                ShardedHot::with_config(Arc::clone(&data.arena), s, true, true)
+            } else {
+                ShardedHot::inline_router(Arc::clone(&data.arena), s)
+            };
+            sharded
+                .bulk_load(&entries)
+                .expect("sorted distinct entries into empty shards");
+            let mut scratch = RouterScratch::new();
+            let mut routed = vec![None; probes.len()];
+            // Warm-up rep grows the per-shard queues and faults their
+            // pages in; timed reps run on warm scratch. Both sides of the
+            // comparison score the best of five timed passes: scheduler
+            // noise on a shared host is strictly subtractive, so the
+            // per-side maximum estimates the undisturbed rate.
+            sharded.get_batch_with(&probes, &mut routed, &mut scratch);
+            let mut shard_mops = 0f64;
+            for _ in 0..5 {
+                let t = Instant::now();
+                sharded.get_batch_with(&probes, &mut routed, &mut scratch);
+                shard_mops = shard_mops.max(mops(probes.len(), t.elapsed().as_secs_f64()));
+            }
+            assert_eq!(
+                routed.iter().flatten().count() as u64,
+                hits,
+                "routed lookups find every key the single trie found"
+            );
+            let (ycsb_mops, check) = run_transactions_sharded(&sharded, &data, &run, ycsb_batch);
+            assert_eq!(
+                check, check_single,
+                "sharded YCSB-C checksum matches the single trie"
+            );
+            let imbalance = sharded.imbalance();
+            row(&[
+                "lookup_sharded".into(),
+                label.into(),
+                s.to_string(),
+                format!("{shard_mops:.3}"),
+                format!("{:.2}", shard_mops / single_mops),
+                format!("{imbalance:.3}"),
+            ]);
+            row(&[
+                "ycsb_c_sharded".into(),
+                label.into(),
+                s.to_string(),
+                format!("{ycsb_mops:.3}"),
+                format!("{:.2}", ycsb_mops / ycsb_single),
+                format!("{imbalance:.3}"),
+            ]);
+            json_rows.push(format!(
+                "{{\"dataset\": \"{label}\", \"structure\": \"shard{s}\", \"lookup_mops\": {shard_mops:.3}, \"ycsb_c_mops\": {ycsb_mops:.3}, \"imbalance\": {imbalance:.3}}}"
+            ));
+        }
+    }
+    write_shard_json(config, n, &json_rows);
+}
+
+/// Hand-rolled JSON for the sharded-router rows, in the same
+/// `rows: [{dataset, structure, *_mops}]` shape the bench-check gate
+/// parses.
+fn write_shard_json(config: &Config, keys: usize, rows: &[String]) {
+    let mut out = String::new();
+    out.push_str("{\n  \"bench\": \"fig10_sharded_router\",\n");
+    out.push_str(&format!(
+        "  \"keys\": {keys}, \"ops\": {}, \"seed\": {}, \"pinned\": {},\n",
+        config.ops, config.seed, config.pin
+    ));
+    out.push_str("  \"rows\": [\n");
+    for (i, json) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {json}{}\n",
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    if let Err(e) = std::fs::create_dir_all("results")
+        .and_then(|()| std::fs::write("results/BENCH_shard.json", &out))
+    {
+        eprintln!("# could not write results/BENCH_shard.json: {e}");
+    } else {
+        eprintln!("# wrote results/BENCH_shard.json");
     }
 }
 

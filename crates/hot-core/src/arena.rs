@@ -17,6 +17,9 @@
 //!   `[shared_len][suffix_len][delta][suffix][tid]` adjacent to their TIDs —
 //!   the final descent hop and the key verification land in the same cache
 //!   lines, and shared prefixes between neighbouring keys are stored once.
+//!   The TID is LEB128 varint-coded, so small TIDs (arena offsets, row
+//!   ids) cost 1–4 bytes instead of a fixed 8 — on short-key data sets
+//!   that fixed word was the largest single per-record overhead.
 //!
 //! # Offset-word encoding
 //!
@@ -433,7 +436,7 @@ struct LeafWriter {
 }
 
 /// Append-only slab arena of front-coded `[shared][suffix_len][delta]
-/// [suffix][tid]` leaf records, addressed by 31-bit byte offsets.
+/// [suffix][tid varint]` leaf records, addressed by 31-bit byte offsets.
 struct LeafArena {
     table: SlabTable,
     cap_bytes: usize,
@@ -443,8 +446,75 @@ struct LeafArena {
 /// Fixed per-record header: `shared: u8`, `suffix_len: u8`, `delta: u16`.
 const LEAF_HEADER: usize = 4;
 
-/// Trailing TID word.
-const LEAF_TID: usize = 8;
+/// LEB128 length of `tid` (1..=10 bytes; one byte below 128).
+#[inline]
+fn varint_len(tid: u64) -> usize {
+    (63 - (tid | 1).leading_zeros() as usize) / 7 + 1
+}
+
+/// Write `v` as LEB128 at `p`; returns bytes written.
+///
+/// # Safety
+/// `p` must be valid for [`varint_len`]`(v)` bytes of writes.
+#[inline]
+unsafe fn write_varint(mut p: *mut u8, mut v: u64) -> usize {
+    let mut n = 1;
+    // SAFETY: the caller guarantees `p` is writable for `varint_len(v)`
+    // bytes; the loop advances exactly that far (one byte per 7-bit group).
+    unsafe {
+        while v >= 0x80 {
+            *p = v as u8 | 0x80;
+            p = p.add(1);
+            v >>= 7;
+            n += 1;
+        }
+        *p = v as u8;
+    }
+    n
+}
+
+/// Decode the LEB128 value at `p`.
+///
+/// # Safety
+/// `p` must point at a value written by [`write_varint`].
+#[inline]
+unsafe fn read_varint(mut p: *const u8) -> u64 {
+    let mut v = 0u64;
+    let mut shift = 0;
+    loop {
+        // SAFETY: the caller guarantees `p` points at a well-formed
+        // LEB128 value, so a terminator byte (< 0x80) is reached before
+        // the record ends; each step stays within that encoding.
+        let b = unsafe { *p };
+        v |= u64::from(b & 0x7f) << shift;
+        if b < 0x80 {
+            return v;
+        }
+        shift += 7;
+        // SAFETY: not the terminator yet, so at least one more encoded
+        // byte follows within the record.
+        p = unsafe { p.add(1) };
+    }
+}
+
+/// Byte length of the LEB128 value at `p` (scan to the terminator byte).
+///
+/// # Safety
+/// `p` must point at a value written by [`write_varint`].
+#[inline]
+unsafe fn varint_len_at(mut p: *const u8) -> usize {
+    let mut n = 1;
+    // SAFETY: the caller guarantees `p` points at a well-formed LEB128
+    // value; the scan stops at its terminator byte (< 0x80), which is
+    // within the record by construction.
+    unsafe {
+        while *p >= 0x80 {
+            p = p.add(1);
+            n += 1;
+        }
+    }
+    n
+}
 
 impl LeafArena {
     fn new(cap_bytes: usize) -> LeafArena {
@@ -485,15 +555,16 @@ impl LeafArena {
         }
         let mut off = st.tail;
         let mut pad = 0u32;
-        let mut rec_len = (LEAF_HEADER + (key.len() - shared) + LEAF_TID) as u32;
+        let tid_len = varint_len(tid);
+        let mut rec_len = (LEAF_HEADER + (key.len() - shared) + tid_len) as u32;
         let rem = SLAB_BYTES as u32 - off % SLAB_BYTES as u32;
-        if rem < rec_len || (shared != 0 && rem < (LEAF_HEADER + key.len() + LEAF_TID) as u32) {
+        if rem < rec_len || (shared != 0 && rem < (LEAF_HEADER + key.len() + tid_len) as u32) {
             // Pad to the slab boundary and restart there: records never
             // straddle slabs, and a restart record's chain walk never
             // crosses back either. (The second condition re-checks with the
             // restart-sized record, since forcing a restart grows it.)
             shared = 0;
-            rec_len = (LEAF_HEADER + key.len() + LEAF_TID) as u32;
+            rec_len = (LEAF_HEADER + key.len() + tid_len) as u32;
             if rem < rec_len {
                 pad = rem;
                 off += rem;
@@ -531,12 +602,8 @@ impl LeafArena {
             *p.add(2) = delta_bytes[0];
             *p.add(3) = delta_bytes[1];
             std::ptr::copy_nonoverlapping(suffix.as_ptr(), p.add(LEAF_HEADER), suffix.len());
-            let tid_bytes = tid.to_le_bytes();
-            std::ptr::copy_nonoverlapping(
-                tid_bytes.as_ptr(),
-                p.add(LEAF_HEADER + suffix.len()),
-                LEAF_TID,
-            );
+            let wrote = write_varint(p.add(LEAF_HEADER + suffix.len()), tid);
+            debug_assert_eq!(wrote, tid_len, "sized and written varint agree");
         }
         if restart {
             st.restart_off = off;
@@ -555,10 +622,14 @@ impl LeafArena {
     /// record may still serve front-coding chains of its neighbours).
     fn mark_dead(&self, off: u32) {
         let p = self.rec_ptr(off);
-        // SAFETY: `off` names a fully written record.
-        let suffix_len = unsafe { *p.add(1) } as usize;
+        // SAFETY: `off` names a fully written record; the varint scan
+        // stays inside it.
+        let (suffix_len, tid_len) = unsafe {
+            let sl = *p.add(1) as usize;
+            (sl, varint_len_at(p.add(LEAF_HEADER + sl)))
+        };
         let mut st = self.state.lock().expect("leaf arena poisoned");
-        st.dead_bytes += LEAF_HEADER + suffix_len + LEAF_TID;
+        st.dead_bytes += LEAF_HEADER + suffix_len + tid_len;
         st.records -= 1;
     }
 
@@ -583,13 +654,11 @@ impl LeafArena {
     #[inline]
     fn tid_at(&self, off: u32) -> u64 {
         let p = self.rec_ptr(off);
-        let mut bytes = [0u8; 8];
-        // SAFETY: fully written record; unaligned-safe byte copy.
+        // SAFETY: fully written record; the varint decode stays inside it.
         unsafe {
             let suffix_len = *p.add(1) as usize;
-            std::ptr::copy_nonoverlapping(p.add(LEAF_HEADER + suffix_len), bytes.as_mut_ptr(), 8);
+            read_varint(p.add(LEAF_HEADER + suffix_len))
         }
-        u64::from_le_bytes(bytes)
     }
 
     /// Reconstruct the full key of the record at `off` into `buf`; returns
@@ -625,7 +694,9 @@ impl LeafArena {
             if q == off {
                 return sh + sl;
             }
-            q += (LEAF_HEADER + sl + LEAF_TID) as u32;
+            // SAFETY: the TID varint follows the suffix inside record `q`.
+            let tid_len = unsafe { varint_len_at(qp.add(LEAF_HEADER + sl)) };
+            q += (LEAF_HEADER + sl + tid_len) as u32;
         }
     }
 
@@ -2213,6 +2284,72 @@ mod tests {
                 assert_eq!(r.tag(), tag);
             }
         }
+    }
+
+    #[test]
+    fn varint_tid_round_trip_at_boundaries() {
+        let cases = [
+            0u64,
+            1,
+            127,
+            128,
+            16_383,
+            16_384,
+            (1 << 21) - 1,
+            1 << 21,
+            (1 << 28) - 1,
+            1 << 28,
+            u32::MAX as u64,
+            (1 << 56) - 1,
+            1 << 56,
+            u64::MAX,
+        ];
+        let mut buf = [0u8; 16];
+        for &v in &cases {
+            let want = varint_len(v);
+            assert!((1..=10).contains(&want), "len {want} for {v}");
+            // SAFETY: `buf` is 16 bytes, comfortably above the 10-byte max.
+            let wrote = unsafe { write_varint(buf.as_mut_ptr(), v) };
+            assert_eq!(wrote, want, "write_varint vs varint_len for {v}");
+            // SAFETY: `buf` holds the value just written.
+            assert_eq!(unsafe { read_varint(buf.as_ptr()) }, v);
+            // SAFETY: `buf` holds the value just written.
+            assert_eq!(unsafe { varint_len_at(buf.as_ptr()) }, want);
+        }
+        // Length must be monotonically non-decreasing in the value.
+        for w in cases.windows(2) {
+            assert!(varint_len(w[0]) <= varint_len(w[1]));
+        }
+    }
+
+    #[test]
+    fn large_tids_survive_front_coded_records() {
+        let arena = LeafArena::new(DEFAULT_LEAF_CAP);
+        // Chain of front-coded siblings with TIDs spanning every varint width.
+        let tids = [0u64, 127, 128, 16_384, u32::MAX as u64, 1 << 56, MAX_TID];
+        let offs: Vec<u32> = tids
+            .iter()
+            .enumerate()
+            .map(|(i, &tid)| {
+                let mut k = b"shared/prefix/for/front/coding/".to_vec();
+                k.extend_from_slice(format!("{i:04}").as_bytes());
+                arena.append(&k, tid).expect("append")
+            })
+            .collect();
+        let mut buf = [0u8; MAX_KEY_LEN];
+        for (i, (&tid, &off)) in tids.iter().zip(&offs).enumerate() {
+            assert_eq!(arena.tid_at(off), tid, "tid {i}");
+            let len = arena.load_key_into(off, &mut buf);
+            let mut want = b"shared/prefix/for/front/coding/".to_vec();
+            want.extend_from_slice(format!("{i:04}").as_bytes());
+            assert_eq!(&buf[..len], want.as_slice(), "key walk across varint record {i}");
+        }
+        // mark_dead must account the true varint-sized record length:
+        // the MAX_TID record carries a 10-byte varint, not a fixed 8.
+        let before = arena.state.lock().expect("leaf arena").dead_bytes;
+        arena.mark_dead(offs[tids.len() - 1]);
+        let grew = arena.state.lock().expect("leaf arena").dead_bytes - before;
+        assert!(grew >= LEAF_HEADER + varint_len(MAX_TID), "grew {grew}");
     }
 
     #[test]

@@ -41,25 +41,44 @@ use hot_keys::{KeySource, PaddedKey, KEY_SCRATCH_LEN};
 pub const DEFAULT_GROUP: usize = 8;
 
 /// Split `len` requests into contiguous runs for round-robin groups of at
-/// most `group` items: `ceil(len / group)` runs whose sizes differ by at
-/// most one.
+/// most `group` items: every run is exactly `group` wide except the last
+/// two, which split the remainder evenly.
 ///
 /// Plain `chunks(group)` leaves the trailing remainder nearly empty
-/// (`len % group` lanes in flight, the rest idle); balancing instead
-/// shrinks *every* group slightly — e.g. 33 requests at G = 8 run as
-/// 7/7/7/6/6 rather than 8/8/8/8/1 — so the final group keeps pipelining
-/// at close to full depth. Results are unaffected: runs stay contiguous
-/// and in order.
+/// (`len % group` lanes in flight, the rest idle — 33 requests at G = 8
+/// would run 8/8/8/8/1, ending on a near-serial descent). Balancing every
+/// run instead (7/7/7/6/6) fixes the tail but thins the interleave of the
+/// *whole* batch — a cost router-split shard slices pay on every group,
+/// not just the last. So the depth concession is made once, at the tail:
+/// 33 requests at G = 8 run 8/8/8/5/4, full-depth groups throughout with
+/// the final two balanced so neither drops below ⌈G/2⌉ lanes. A slice of
+/// `len < group` is a single `len`-deep run. Results are unaffected: runs
+/// stay contiguous and in order.
 pub(crate) fn balanced_chunks(
     len: usize,
     group: usize,
 ) -> impl Iterator<Item = std::ops::Range<usize>> {
-    let runs = len.div_ceil(group);
-    let base = len.checked_div(runs).unwrap_or(0);
-    let extra = len.checked_rem(runs).unwrap_or(0);
+    // `full` leading runs of exactly `group`, then a remainder in
+    // `group + 1..2 * group` split into two balanced runs (or, when the
+    // whole slice fits one group, a single run of `len`).
+    let full = if len.is_multiple_of(group) {
+        len / group
+    } else {
+        (len / group).saturating_sub(1)
+    };
+    let rem = len - full * group;
+    let runs = full + usize::from(rem > 0) + usize::from(rem > group);
     let mut start = 0;
     (0..runs).map(move |run| {
-        let size = base + usize::from(run < extra);
+        let size = if run < full {
+            group
+        } else if rem <= group {
+            rem
+        } else if run == full {
+            rem.div_ceil(2)
+        } else {
+            rem / 2
+        };
         let range = start..start + size;
         start += size;
         range
@@ -267,19 +286,46 @@ mod tests {
             for group in 1..20usize {
                 let mut covered = 0;
                 let mut min_size = usize::MAX;
-                let mut max_size = 0;
+                let mut sizes = Vec::new();
                 for range in super::balanced_chunks(len, group) {
                     assert_eq!(range.start, covered, "contiguous");
                     covered = range.end;
                     min_size = min_size.min(range.len());
-                    max_size = max_size.max(range.len());
+                    sizes.push(range.len());
                 }
                 assert_eq!(covered, len, "covers every request");
                 if len > 0 {
-                    assert!(max_size <= group, "len={len} group={group}");
-                    assert!(max_size - min_size <= 1, "balanced: len={len} group={group}");
+                    assert!(sizes.iter().all(|&s| s <= group), "len={len} group={group}");
+                    // Full interleave depth everywhere but the final two
+                    // runs, and no near-serial tail: the depth concession
+                    // is made once, bounded by half a group.
+                    assert!(
+                        sizes.iter().rev().skip(2).all(|&s| s == group),
+                        "only the last two runs shrink: len={len} group={group} sizes={sizes:?}"
+                    );
+                    assert!(
+                        min_size >= group.div_ceil(2).min(len),
+                        "tail keeps >= half depth: len={len} group={group} sizes={sizes:?}"
+                    );
                 }
             }
+        }
+    }
+
+    #[test]
+    fn router_split_slices_keep_full_depth_groups() {
+        // Regression: a shard slice just over a group multiple must not
+        // thin every group's interleave. 2G + 1 requests at G = 8 used to
+        // run 6/6/6 (depth lost on the whole slice); now the full-depth
+        // group survives and only the tail balances.
+        let sizes: Vec<usize> = super::balanced_chunks(17, 8).map(|r| r.len()).collect();
+        assert_eq!(sizes, [8, 5, 4]);
+        // A slice smaller than the tuned depth is one run clamped to the
+        // slice length — never split into shallower refills.
+        for len in 1..8usize {
+            let runs: Vec<_> = super::balanced_chunks(len, 8).collect();
+            assert_eq!(runs.len(), 1, "len={len}");
+            assert_eq!(runs[0], 0..len, "len={len}");
         }
     }
 }

@@ -52,7 +52,9 @@ pub mod map;
 pub(crate) mod metrics;
 pub mod mlp;
 pub mod node;
+pub mod numa;
 pub mod scan;
+pub mod shard;
 pub mod sync;
 pub mod sync_shim;
 pub mod trie;
@@ -73,4 +75,5 @@ pub use map::HotMap;
 pub use mlp::{BatchRequest, MlpScheduler, DEFAULT_DEPTH, DEPTH_SWEEP, MAX_DEPTH};
 pub use node::{MemCounter, NodeRef, NodeTag, MAX_FANOUT};
 pub use scan::{ScanBatchCursor, ScanCursor};
+pub use shard::{shard_of_key, splitters_from_sample, RouterScratch, ShardedHot, MAX_SHARDS};
 pub use trie::HotTrie;

@@ -87,6 +87,13 @@ pub(crate) enum DescentKind {
 /// Lane stage within a descent.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Stage {
+    /// Lazy-routed lane staged without a root: the key bytes were copied
+    /// into the lane at stage time (pure data movement the out-of-order
+    /// core overlaps freely), and the per-key root resolution — which
+    /// *branches* on those bytes and would stall the whole ring if it ran
+    /// against a cold line — happens on the lane's first sweep visit,
+    /// when the copy is L1-resident.
+    Route,
     /// Chasing compound nodes root-to-leaf.
     Descend,
     /// Terminal word reached and the tuple's key record prefetched last
@@ -325,9 +332,19 @@ impl MlpScheduler {
     /// * Scan results are appended flat to `tids`, with one end offset
     ///   pushed to `bounds` per scan request in request order (the caller
     ///   seeds `bounds` with the starting offset, matching `scan_batch`).
-    /// * `reload_root` is called once per lane load and once per
-    ///   re-descent — the per-refill root reload that keeps a long batch
-    ///   on the concurrent index from pinning one stale root.
+    /// * `reload_root` is called with the request's key bytes once per
+    ///   lane load and once per re-descent — the per-refill root reload
+    ///   that keeps a long batch on the concurrent index from pinning
+    ///   one stale root. The key lets a sharded caller pick the root
+    ///   per request, folding shard routing into the descent pipeline
+    ///   instead of a separate serial-miss classify pass.
+    /// * `lazy_route` defers each `reload_root` to the lane's first
+    ///   sweep visit (the [`Stage::Route`] hop), one visit after the
+    ///   key bytes were copied into the lane — callers whose
+    ///   `reload_root` actually branches on the key (the sharded
+    ///   router) set it so classification reads the L1-resident lane
+    ///   copy instead of stalling the ring on a cold miss; callers with
+    ///   a key-independent root keep the eager staging (no extra hop).
     /// * `redescend` enables torn-slot recovery (concurrent index only;
     ///   the single-threaded trie never publishes null slots).
     #[allow(clippy::too_many_arguments)] // internal plumbing shared by four adapters
@@ -339,12 +356,13 @@ impl MlpScheduler {
         tids: &mut Vec<u64>,
         bounds: &mut Vec<usize>,
         mut reload_root: F,
+        lazy_route: bool,
         redescend: bool,
         metrics: &Metrics,
     ) where
         S: KeySource,
         Q: RequestStream + ?Sized,
-        F: FnMut() -> NodeRef,
+        F: FnMut(&[u8]) -> NodeRef,
     {
         let n = reqs.len();
         if n == 0 {
@@ -381,11 +399,17 @@ impl MlpScheduler {
         let mut scans = 0usize;
         while next_req < n && active.len() < depth {
             let lane = active.len();
+            let root = if lazy_route {
+                NodeRef::NULL
+            } else {
+                reload_root(reqs.fetch(next_req).0)
+            };
             scans += usize::from(stage_request(
                 &mut lanes[lane],
                 next_req,
                 reqs,
-                reload_root(),
+                root,
+                lazy_route,
                 source,
                 metrics,
             ));
@@ -417,6 +441,26 @@ impl MlpScheduler {
             for slot in 0..live {
                 let lane = active[slot];
                 let l = &mut lanes[lane];
+                if l.stage == Stage::Route {
+                    // Deferred root resolution: the key copy staged last
+                    // visit is L1-resident now, so a classifying
+                    // `reload_root` branches over warm bytes.
+                    let root = reload_root(l.key.bytes());
+                    l.cur = root;
+                    if root.is_node() {
+                        l.stage = Stage::Descend;
+                        hot_bits::prefetch_node(root.as_raw().base, PREFETCH_LINES);
+                    } else {
+                        if root.is_leaf() {
+                            source.prefetch_key(root.tid());
+                        }
+                        finishing += 1;
+                        l.stage = Stage::Finish;
+                    }
+                    active[kept] = lane;
+                    kept += 1;
+                    continue;
+                }
                 if l.stage == Stage::Descend {
                     let raw = l.cur.as_raw();
                     let (idx, next) = raw.find_candidate(l.key.padded());
@@ -452,7 +496,7 @@ impl MlpScheduler {
                         if redescend && l.attempts < MAX_REDESCENTS {
                             l.attempts += 1;
                             l.path.clear();
-                            let root = reload_root();
+                            let root = reload_root(l.key.bytes());
                             l.cur = root;
                             metrics.sched(SchedCounter::Redescent);
                             if root.is_node() {
@@ -481,11 +525,17 @@ impl MlpScheduler {
                 finishing = finishing.saturating_sub(1);
                 if next_req < n {
                     // Completion-driven refill.
+                    let root = if lazy_route {
+                        NodeRef::NULL
+                    } else {
+                        reload_root(reqs.fetch(next_req).0)
+                    };
                     scans += usize::from(stage_request(
                         l,
                         next_req,
                         reqs,
-                        reload_root(),
+                        root,
+                        lazy_route,
                         source,
                         metrics,
                     ));
@@ -513,14 +563,17 @@ impl MlpScheduler {
 }
 
 /// Stage request `req` into lane `l`: set the key, point the lane at a
-/// freshly loaded root, and start the root's prefetch. Returns `true` when
-/// the staged request is a scan seek (the caller skips the request-order
+/// freshly loaded root (or defer the root to the first sweep visit when
+/// `lazy` — the key copy just made is what a classifying `reload_root`
+/// reads warm), and start the root's prefetch. Returns `true` when the
+/// staged request is a scan seek (the caller skips the request-order
 /// emit pass for scan-free windows).
 fn stage_request<S, Q>(
     l: &mut Lane,
     req: usize,
     reqs: &Q,
     root: NodeRef,
+    lazy: bool,
     source: &S,
     metrics: &Metrics,
 ) -> bool
@@ -537,7 +590,9 @@ where
     l.attempts = 0;
     l.path.clear();
     metrics.sched(SchedCounter::Refill);
-    if root.is_node() {
+    if lazy {
+        l.stage = Stage::Route;
+    } else if root.is_node() {
         l.stage = Stage::Descend;
         hot_bits::prefetch_node(root.as_raw().base, PREFETCH_LINES);
     } else {

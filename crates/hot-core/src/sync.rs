@@ -190,6 +190,13 @@ impl<S: KeySource> ConcurrentHot<S> {
         &self.source
     }
 
+    /// Crate-internal: the metrics sink, so the sharded router's fused
+    /// batch drive can attribute its scheduler pass to this shard's
+    /// registry.
+    pub(crate) fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
     /// Build the whole trie bottom-up from sorted `(key, tid)` entries and
     /// publish it with a **single** root store — the concurrent counterpart
     /// of [`HotTrie::bulk_load`](crate::HotTrie::bulk_load) (DESIGN.md §11).
@@ -255,7 +262,7 @@ impl<S: KeySource> ConcurrentHot<S> {
     /// Grow/UpsertRoot CASes). A descent that observes a new root pointer
     /// therefore observes the fully `fill`ed node body behind it.
     #[inline]
-    fn load_root(&self) -> NodeRef {
+    pub(crate) fn load_root(&self) -> NodeRef {
         NodeRef(self.root.load(Ordering::Acquire)) // pairs-with: root-publish
     }
 
@@ -373,7 +380,8 @@ impl<S: KeySource> ConcurrentHot<S> {
             out,
             &mut tids,
             &mut bounds,
-            || self.load_root(),
+            |_| self.load_root(),
+            false,
             true,
             &self.metrics,
         );
@@ -410,7 +418,7 @@ impl<S: KeySource> ConcurrentHot<S> {
         bounds.clear();
         bounds.push(0);
         let _guard = epoch::pin();
-        sched.run(&self.source, reqs, out, tids, bounds, || self.load_root(), true, &self.metrics);
+        sched.run(&self.source, reqs, out, tids, bounds, |_| self.load_root(), false, true, &self.metrics);
         self.metrics.items(OpKind::ScanBatch, tids.len() as u64);
     }
 
@@ -438,7 +446,8 @@ impl<S: KeySource> ConcurrentHot<S> {
                 out,
                 &mut tids,
                 &mut bounds,
-                || self.load_root(),
+                |_| self.load_root(),
+                false,
                 true,
                 &self.metrics,
             );
@@ -577,7 +586,8 @@ impl<S: KeySource> ConcurrentHot<S> {
             &mut out,
             tids,
             bounds,
-            || self.load_root(),
+            |_| self.load_root(),
+            false,
             true,
             &self.metrics,
         );

@@ -186,7 +186,8 @@ impl<S: KeySource> HotTrie<S> {
             out,
             &mut tids,
             &mut bounds,
-            || self.root,
+            |_| self.root,
+            false,
             false,
             &self.metrics,
         );
@@ -225,7 +226,7 @@ impl<S: KeySource> HotTrie<S> {
         tids.clear();
         bounds.clear();
         bounds.push(0);
-        sched.run(&self.source, reqs, out, tids, bounds, || self.root, false, &self.metrics);
+        sched.run(&self.source, reqs, out, tids, bounds, |_| self.root, false, false, &self.metrics);
         self.metrics.items(OpKind::ScanBatch, tids.len() as u64);
     }
 
@@ -252,7 +253,8 @@ impl<S: KeySource> HotTrie<S> {
             out,
             &mut tids,
             &mut bounds,
-            || self.root,
+            |_| self.root,
+            false,
             false,
             &self.metrics,
         );
@@ -825,7 +827,8 @@ impl<S: KeySource> HotTrie<S> {
             &mut out,
             tids,
             bounds,
-            || self.root,
+            |_| self.root,
+            false,
             false,
             &self.metrics,
         );

@@ -741,6 +741,38 @@ impl MetricsSnapshot {
         }
     }
 
+    /// Fold `other` into `self`, summing every counter, duration and
+    /// histogram bucket per operation kind plus the ROWEX and scheduler
+    /// counters — the per-shard aggregation of the sharded execution
+    /// layer (each shard trie owns an independent registry; the sharded
+    /// snapshot is their sum). Structural gauges are per-tree and do not
+    /// sum meaningfully, so the merge keeps `self`'s.
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        for (a, b) in self.ops.iter_mut().zip(other.ops.iter()) {
+            a.count += b.count;
+            a.total_ns += b.total_ns;
+            a.items += b.items;
+            for (ha, hb) in a.hist.iter_mut().zip(b.hist.iter()) {
+                *ha += hb;
+            }
+        }
+        for i in 0..NUM_ROWEX {
+            self.rowex.counts[i] += other.rowex.counts[i];
+        }
+        for i in 0..NUM_SCHED {
+            self.sched.counts[i] += other.sched.counts[i];
+        }
+        for i in 0..OCC_BUCKETS {
+            self.sched.occupancy[i] += other.sched.occupancy[i];
+        }
+    }
+
+    /// [`merge`](Self::merge) by value, for fold chains.
+    pub fn merged(mut self, other: &MetricsSnapshot) -> MetricsSnapshot {
+        self.merge(other);
+        self
+    }
+
     /// Serialize to stable, human-diffable JSON (ops with non-zero counts
     /// only; histograms summarized as percentiles, not dumped raw).
     pub fn to_json(&self) -> String {
@@ -796,9 +828,86 @@ impl MetricsSnapshot {
     }
 }
 
+/// Routed-request balance across the shards of a sharded index: the
+/// router's per-shard request tallies plus the derived imbalance gauge
+/// fig10 reports for `--shards` rows.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ShardBalance {
+    /// Requests routed to each shard since construction.
+    pub routed: Vec<u64>,
+}
+
+impl ShardBalance {
+    /// Wrap per-shard routed-request counts.
+    pub fn new(routed: Vec<u64>) -> ShardBalance {
+        ShardBalance { routed }
+    }
+
+    /// Total routed requests.
+    pub fn total(&self) -> u64 {
+        self.routed.iter().sum()
+    }
+
+    /// Hottest shard over mean: 1.0 is perfectly balanced, `shards` is
+    /// everything on one shard; an empty or idle gauge reports 1.0.
+    pub fn imbalance(&self) -> f64 {
+        let total = self.total();
+        if total == 0 || self.routed.is_empty() {
+            return 1.0;
+        }
+        let max = self.routed.iter().copied().max().unwrap_or(0) as f64;
+        max * self.routed.len() as f64 / total as f64
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn shard_balance_imbalance_gauge() {
+        assert_eq!(ShardBalance::default().imbalance(), 1.0);
+        assert_eq!(ShardBalance::new(vec![0, 0]).imbalance(), 1.0);
+        assert_eq!(ShardBalance::new(vec![5, 5, 5, 5]).imbalance(), 1.0);
+        // All load on one of four shards: max/mean = 4.
+        assert_eq!(ShardBalance::new(vec![12, 0, 0, 0]).imbalance(), 4.0);
+        // 3:1 across two shards: max/mean = 1.5.
+        assert_eq!(ShardBalance::new(vec![9, 3]).imbalance(), 1.5);
+    }
+
+    #[test]
+    fn merge_sums_counters_and_histograms() {
+        let reg_a = Registry::new();
+        let reg_b = Registry::new();
+        {
+            let _t = reg_a.timer(OpKind::Get);
+        }
+        {
+            let _t = reg_b.timer(OpKind::Get);
+        }
+        {
+            let _t = reg_b.timer(OpKind::Insert);
+        }
+        reg_a.incr(RowexCounter::Restart);
+        reg_b.incr(RowexCounter::Restart);
+        reg_b.incr(RowexCounter::EpochPin);
+        let mut merged = reg_a.ops_snapshot();
+        merged.merge(&reg_b.ops_snapshot());
+        assert_eq!(merged.op(OpKind::Get).count, 2);
+        assert_eq!(merged.op(OpKind::Get).hist_total(), 2);
+        assert_eq!(merged.op(OpKind::Insert).count, 1);
+        assert_eq!(merged.rowex.get(RowexCounter::Restart), 2);
+        assert_eq!(merged.rowex.get(RowexCounter::EpochPin), 1);
+        // Merge is value-preserving over totals: merged totals equal the
+        // sum of the parts for every op kind.
+        let (a, b) = (reg_a.ops_snapshot(), reg_b.ops_snapshot());
+        for kind in OpKind::ALL {
+            assert_eq!(
+                merged.op(kind).total_ns,
+                a.op(kind).total_ns + b.op(kind).total_ns
+            );
+        }
+    }
 
     #[test]
     fn bucket_index_roundtrips_bounds() {

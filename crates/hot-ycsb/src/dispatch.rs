@@ -1,0 +1,164 @@
+//! Shard dispatch planning for thread-per-core drivers.
+//!
+//! A thread-per-core execution layer (DESIGN.md §17) routes every request
+//! of a batch to the shard owning its key, runs each shard's group on that
+//! shard's core, and reassembles results in request order. The grouping
+//! step is index-agnostic — it only needs a `slot → shard` function — so
+//! it lives here with the workload generator rather than in the index
+//! crate: benchmark drivers plan the dispatch once per batch and then
+//! drive whatever per-shard execution path they are measuring.
+//!
+//! [`ShardPlan`] is that reusable grouping: counting-sort the batch slots
+//! by shard (stable, so each shard sees its requests in original order)
+//! into one contiguous `order` array with per-shard `starts` offsets.
+//! Buffers persist across [`build`](ShardPlan::build) calls, so a warm
+//! plan allocates nothing.
+
+/// A batch's request slots grouped by shard, in request order per shard.
+///
+/// ```
+/// use hot_ycsb::dispatch::ShardPlan;
+///
+/// let shard_of = [1usize, 0, 1, 0];  // slot → shard
+/// let mut plan = ShardPlan::new();
+/// plan.build(2, shard_of.len(), |slot| shard_of[slot]);
+/// assert_eq!(plan.group(0), &[1, 3]);
+/// assert_eq!(plan.group(1), &[0, 2]);
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct ShardPlan {
+    /// Shard `s` owns `order[starts[s]..starts[s + 1]]`; length is the
+    /// shard count plus one (empty before the first `build`).
+    starts: Vec<usize>,
+    /// Original batch slots, grouped by shard, ascending within a group.
+    order: Vec<u32>,
+}
+
+impl ShardPlan {
+    /// An empty plan; [`build`](Self::build) gives it contents.
+    pub fn new() -> ShardPlan {
+        ShardPlan::default()
+    }
+
+    /// Plan the dispatch of a batch of `len` slots over `shards` shards,
+    /// where `shard_of(slot)` names the owning shard. Two passes (count,
+    /// then stable scatter), reusing the plan's buffers.
+    ///
+    /// # Panics
+    /// Panics if `shards` is zero, `len` exceeds `u32::MAX`, or
+    /// `shard_of` returns an out-of-range shard.
+    pub fn build<F>(&mut self, shards: usize, len: usize, mut shard_of: F)
+    where
+        F: FnMut(usize) -> usize,
+    {
+        assert!(shards > 0, "at least one shard");
+        assert!(len <= u32::MAX as usize, "slots fit in u32");
+        self.starts.clear();
+        self.starts.resize(shards + 1, 0);
+        self.order.clear();
+        self.order.resize(len, 0);
+        // Pass 1: histogram into starts[1..], then prefix-sum so that
+        // starts[s] is shard s's write cursor.
+        let mut owner: Vec<u32> = Vec::with_capacity(len);
+        for slot in 0..len {
+            let s = shard_of(slot);
+            assert!(s < shards, "shard {s} out of range 0..{shards}");
+            owner.push(s as u32);
+            self.starts[s + 1] += 1;
+        }
+        for s in 0..shards {
+            self.starts[s + 1] += self.starts[s];
+        }
+        // Pass 2: stable scatter by walking slots in order.
+        let mut cursor = self.starts.clone();
+        for (slot, &s) in owner.iter().enumerate() {
+            let c = &mut cursor[s as usize];
+            self.order[*c] = slot as u32;
+            *c += 1;
+        }
+    }
+
+    /// Number of shards the last [`build`](Self::build) planned for
+    /// (zero before the first build).
+    pub fn shards(&self) -> usize {
+        self.starts.len().saturating_sub(1)
+    }
+
+    /// Number of slots in the planned batch.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Whether the planned batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// Shard `s`'s slots, ascending (original request order).
+    ///
+    /// # Panics
+    /// Panics if `s` is not below [`shards`](Self::shards).
+    pub fn group(&self, s: usize) -> &[u32] {
+        &self.order[self.starts[s]..self.starts[s + 1]]
+    }
+
+    /// All slots grouped by shard, shard 0 first — `group` concatenated.
+    pub fn order(&self) -> &[u32] {
+        &self.order
+    }
+
+    /// Per-shard group boundaries into [`order`](Self::order); length is
+    /// the shard count plus one.
+    pub fn starts(&self) -> &[usize] {
+        &self.starts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::ShardPlan;
+
+    #[test]
+    fn groups_are_stable_and_cover_every_slot() {
+        let owners = [2usize, 0, 1, 2, 0, 0, 3, 1];
+        let mut plan = ShardPlan::new();
+        plan.build(4, owners.len(), |slot| owners[slot]);
+        assert_eq!(plan.shards(), 4);
+        assert_eq!(plan.len(), owners.len());
+        assert_eq!(plan.group(0), &[1, 4, 5]);
+        assert_eq!(plan.group(1), &[2, 7]);
+        assert_eq!(plan.group(2), &[0, 3]);
+        assert_eq!(plan.group(3), &[6]);
+        // Every slot appears exactly once across the groups.
+        let mut seen: Vec<u32> = plan.order().to_vec();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..owners.len() as u32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn rebuild_reuses_buffers_and_resizes() {
+        let mut plan = ShardPlan::new();
+        plan.build(3, 5, |slot| slot % 3);
+        assert_eq!(plan.group(0), &[0, 3]);
+        // Shrinks: fewer shards, fewer slots.
+        plan.build(2, 3, |_| 1);
+        assert_eq!(plan.shards(), 2);
+        assert_eq!(plan.group(0), &[] as &[u32]);
+        assert_eq!(plan.group(1), &[0, 1, 2]);
+    }
+
+    #[test]
+    fn empty_batch_has_empty_groups() {
+        let mut plan = ShardPlan::new();
+        plan.build(2, 0, |_| unreachable!("no slots to classify"));
+        assert!(plan.is_empty());
+        assert_eq!(plan.group(0), &[] as &[u32]);
+        assert_eq!(plan.group(1), &[] as &[u32]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_shard_panics() {
+        ShardPlan::new().build(2, 1, |_| 2);
+    }
+}

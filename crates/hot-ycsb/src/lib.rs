@@ -23,12 +23,14 @@
 #![deny(missing_docs)]
 
 pub mod dataset;
+pub mod dispatch;
 #[cfg(feature = "metrics")]
 pub mod phase;
 pub mod workload;
 pub mod zipf;
 
 pub use dataset::{Dataset, DatasetKind};
+pub use dispatch::ShardPlan;
 pub use workload::{
     BatchedOperation, MixedBatchedOperation, MixedBatches, MixedOp, Operation, ReadBatches,
     RequestDistribution, Workload, WorkloadRun,

@@ -1,8 +1,9 @@
 //! `cargo xtask bench-check` — the CI perf-regression gate.
 //!
 //! Runs the fig8 smoke benchmark (`--keys 50000 --ops 50000 --batch 8
-//! --bulk --ooo`) plus the fig9 arena-footprint smoke (`--keys 50000
-//! --arena`) in a scratch working directory (`target/bench-check/`, so
+//! --bulk --ooo`), the fig9 arena-footprint smoke (`--keys 50000
+//! --arena`), and the fig10 sharded-router smoke (`--shards 2,4`) in a
+//! scratch working directory (`target/bench-check/`, so
 //! the checked-in `results/` files are never clobbered). Because a
 //! 50 k-op smoke cell is noisy on shared hosts, the smoke runs
 //! `BENCH_CHECK_RUNS` times (default 3) and the two sides of the
@@ -38,6 +39,17 @@ const SMOKE_ARGS: &[&str] = &[
 /// claim is about.
 const ARENA_SMOKE_ARGS: &[&str] = &["--keys", "50000", "--arena", "--bulk"];
 
+/// The fig10 sharded-router smoke: an explicit `--keys` keeps the shard
+/// section at smoke scale (it otherwise floors itself at 4 M keys), and
+/// `--threads 1` skips the multi-thread sweep of the main section. Gates
+/// the `shard*` rows' `lookup_mops`/`ycsb_c_mops` in `BENCH_shard.json`.
+/// The op count is deliberately larger than fig8's: the YCSB cells time
+/// windowed passes whose sub-millisecond spans would otherwise be pure
+/// scheduler-noise measurements.
+const SHARD_SMOKE_ARGS: &[&str] = &[
+    "--keys", "20000", "--ops", "200000", "--threads", "1", "--shards", "2,4",
+];
+
 /// The JSON reports the smokes produce and gate on.
 const BENCH_FILES: &[&str] = &[
     "BENCH_batch.json",
@@ -45,6 +57,7 @@ const BENCH_FILES: &[&str] = &[
     "BENCH_bulk.json",
     "BENCH_ooo.json",
     "BENCH_arena.json",
+    "BENCH_shard.json",
 ];
 
 /// `*_bpk` fields gate memory footprint: lower is better, so the fold and
@@ -85,9 +98,10 @@ pub fn bench_check(update: bool) -> ExitCode {
     let mut floor: BestTable = Vec::new();
     for run in 1..=runs {
         let _ = std::fs::remove_dir_all(&fresh_dir);
-        let smokes: [(&str, &[&str]); 2] = [
+        let smokes: [(&str, &[&str]); 3] = [
             ("fig8_throughput", SMOKE_ARGS),
             ("fig9_memory", ARENA_SMOKE_ARGS),
+            ("fig10_scalability", SHARD_SMOKE_ARGS),
         ];
         for (bin, args) in smokes {
             eprintln!(
