@@ -75,5 +75,7 @@ pub use map::HotMap;
 pub use mlp::{BatchRequest, MlpScheduler, DEFAULT_DEPTH, DEPTH_SWEEP, MAX_DEPTH};
 pub use node::{MemCounter, NodeRef, NodeTag, MAX_FANOUT};
 pub use scan::{ScanBatchCursor, ScanCursor};
-pub use shard::{shard_of_key, splitters_from_sample, RouterScratch, ShardedHot, MAX_SHARDS};
+pub use shard::{
+    shard_of_key, splitters_from_sample, RouterScratch, ScanToken, ShardedHot, MAX_SHARDS,
+};
 pub use trie::HotTrie;

@@ -40,7 +40,7 @@ use std::sync::{mpsc, Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
 
 use hot_keys::stats::MemoryStats;
-use hot_keys::{KeySource, PaddedKey};
+use hot_keys::{KeySource, PaddedKey, KEY_SCRATCH_LEN};
 
 use crossbeam_epoch as epoch;
 
@@ -52,6 +52,23 @@ use crate::sync::ConcurrentHot;
 
 /// Largest supported shard count.
 pub const MAX_SHARDS: usize = 64;
+
+/// Resumable scan position for callers that cannot hold a cursor across
+/// calls (the wire protocol pages SCAN results with it; DESIGN.md §18).
+/// It names the last key a page returned plus the shard that owned it
+/// when the token was minted, and is honored by
+/// [`ShardedHot::scan_resume`] even if that key is deleted — or the
+/// splitter layout would place it elsewhere — between pages: resumption
+/// re-routes by key, the shard index is a routing hint for the wire
+/// format, not a correctness input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScanToken {
+    /// Shard that owned `last_key` when the page was produced.
+    pub shard: u32,
+    /// The last key of the previous page; the next page starts strictly
+    /// after it.
+    pub last_key: Vec<u8>,
+}
 
 /// The shard owning `key` under sorted `splitters`: the number of
 /// splitters `<= key`, i.e. shard `s` owns the contiguous lexicographic
@@ -1093,6 +1110,70 @@ where
             self.tries[shard].scan_into(&sp[shard - 1], limit - out.len(), &mut cont);
             out.extend_from_slice(&cont);
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Paged scans: resumable continuation tokens for out-of-process
+    // callers (the wire protocol) that cannot hold a cursor across
+    // calls.
+    // ------------------------------------------------------------------
+
+    /// One page of a scan starting at `key` (inclusive): up to `limit`
+    /// TIDs in ascending key order, crossing shard boundaries as needed.
+    /// Returns `Some(token)` when the page filled — more keys *may*
+    /// follow; resume strictly after the page with
+    /// [`scan_resume`](Self::scan_resume). A short page means the key
+    /// space is exhausted. `limit` must be at least 1 to make progress
+    /// (a zero-limit page is empty and unresumable).
+    pub fn scan_page(&self, key: &[u8], limit: usize, out: &mut Vec<u64>) -> Option<ScanToken> {
+        self.scan_into(key, limit, out);
+        self.scan_token(out, limit)
+    }
+
+    /// The next page of a scan paused at `token`: up to `limit` TIDs
+    /// with keys strictly greater than `token.last_key`, in ascending
+    /// key order. Deleting the token's key between pages is fine — the
+    /// page then starts at its successor. Returns the follow-up token
+    /// under the same contract as [`scan_page`](Self::scan_page).
+    pub fn scan_resume(
+        &self,
+        token: &ScanToken,
+        limit: usize,
+        out: &mut Vec<u64>,
+    ) -> Option<ScanToken> {
+        if limit == 0 {
+            out.clear();
+            return Some(token.clone());
+        }
+        // Re-seek at the last key inclusively, over-fetch by one, and
+        // drop the token key itself if it is still present: keys are
+        // unique, so at most the first result can equal it.
+        self.scan_into(&token.last_key, limit.saturating_add(1), out);
+        if let Some(&first) = out.first() {
+            let src = self.tries[0].source();
+            if src.cmp_tid_key(first, &token.last_key) == std::cmp::Ordering::Equal {
+                out.remove(0);
+            }
+        }
+        out.truncate(limit);
+        self.scan_token(out, limit)
+    }
+
+    /// Mint the continuation token for a scan page: when `page` filled
+    /// its `limit`, resolve the last TID's key through the shared key
+    /// source and record it with its owning shard. A short page has no
+    /// continuation — the scan ran off the end of the key space.
+    pub fn scan_token(&self, page: &[u64], limit: usize) -> Option<ScanToken> {
+        let &last = page.last()?;
+        if page.len() < limit {
+            return None;
+        }
+        let mut scratch = [0u8; KEY_SCRATCH_LEN];
+        let key = self.tries[0].source().load_key(last, &mut scratch);
+        Some(ScanToken {
+            shard: self.shard_of(key) as u32,
+            last_key: key.to_vec(),
+        })
     }
 
     // ------------------------------------------------------------------

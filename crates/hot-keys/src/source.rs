@@ -146,6 +146,22 @@ impl ArenaKeySource {
         &self.data[offset + 1..offset + 1 + len]
     }
 
+    /// The key stored under `tid`, or `None` when `tid` does not name a
+    /// record inside the arena — the validation gate for TIDs arriving
+    /// from an untrusted source (the wire protocol's PUT frames): a
+    /// bogus offset must be rejected, not dereferenced.
+    ///
+    /// An offset is only accepted when its length prefix fits entirely
+    /// inside the arena; an offset pointing *into* a record's key bytes
+    /// is indistinguishable from a record header by construction, so the
+    /// caller must also compare the returned key against the claimed one
+    /// (the server does) before trusting the TID.
+    pub fn try_key(&self, tid: u64) -> Option<&[u8]> {
+        let offset = usize::try_from(tid).ok()?;
+        let len = *self.data.get(offset)? as usize;
+        self.data.get(offset + 1..offset + 1 + len)
+    }
+
     /// Total bytes of raw key data, excluding the length prefixes (the
     /// paper's "raw key" line in Figure 9).
     pub fn raw_key_bytes(&self) -> usize {

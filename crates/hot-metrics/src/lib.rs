@@ -56,6 +56,18 @@ pub enum OpKind {
     BulkLoad = 6,
     /// Batched removals (`remove_batch`: probe descents + applies).
     RemoveBatch = 7,
+    /// Served GET request (hot-server execution, hot-client round trip).
+    NetGet = 8,
+    /// Served PUT request.
+    NetPut = 9,
+    /// Served DEL request.
+    NetDel = 10,
+    /// Served SCAN / SCAN-resume request.
+    NetScan = 11,
+    /// Any served network request — the aggregate the wire drivers use
+    /// for whole-stream latency percentiles (each request is recorded
+    /// under its kind *and* here).
+    NetOp = 12,
 }
 
 impl OpKind {
@@ -69,6 +81,11 @@ impl OpKind {
         OpKind::ScanBatch,
         OpKind::BulkLoad,
         OpKind::RemoveBatch,
+        OpKind::NetGet,
+        OpKind::NetPut,
+        OpKind::NetDel,
+        OpKind::NetScan,
+        OpKind::NetOp,
     ];
 
     /// Stable lowercase label used in JSON output.
@@ -82,12 +99,17 @@ impl OpKind {
             OpKind::ScanBatch => "scan_batch",
             OpKind::BulkLoad => "bulk_load",
             OpKind::RemoveBatch => "remove_batch",
+            OpKind::NetGet => "net_get",
+            OpKind::NetPut => "net_put",
+            OpKind::NetDel => "net_del",
+            OpKind::NetScan => "net_scan",
+            OpKind::NetOp => "net_op",
         }
     }
 }
 
 /// Number of instrumented operation kinds.
-pub const NUM_OPS: usize = 8;
+pub const NUM_OPS: usize = 13;
 
 /// ROWEX synchronization health counters (see `hot_core::sync`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -1,0 +1,655 @@
+//! The wire protocol: length-prefixed binary frames over TCP.
+//!
+//! Every message — request or response — is one *frame*:
+//!
+//! ```text
+//! [len: u32 LE][body: len bytes]
+//! ```
+//!
+//! where the body's first byte is an opcode (requests) or a status code
+//! (responses) and the rest is that code's payload. All integers are
+//! little-endian; keys carry a `u16` length prefix. The format is designed
+//! so that a pipelining client can write any number of frames back to back
+//! and a server can decode them incrementally from arbitrary read
+//! boundaries — [`FrameDecoder`] never assumes a read ends on a frame
+//! boundary.
+//!
+//! Request opcodes and their payloads:
+//!
+//! | opcode | name     | payload                                          |
+//! |-------:|----------|--------------------------------------------------|
+//! | `0x01` | GET      | `[klen: u16][key]`                               |
+//! | `0x02` | PUT      | `[tid: u64][klen: u16][key]`                     |
+//! | `0x03` | DEL      | `[klen: u16][key]`                               |
+//! | `0x04` | SCAN     | `[limit: u32][klen: u16][start key]`             |
+//! | `0x05` | BATCH    | `[count: u32][count × sub-request bodies]`       |
+//! | `0x06` | STATS    | empty                                            |
+//! | `0x07` | PING     | empty                                            |
+//! | `0x08` | SHUTDOWN | empty                                            |
+//! | `0x09` | RESUME   | `[limit: u32][shard: u32][klen: u16][last key]`  |
+//!
+//! Sub-requests inside a BATCH are encoded exactly like a top-level body
+//! (opcode + payload, no length prefix — every payload is self-delimiting)
+//! and may not nest another BATCH.
+//!
+//! Response status codes:
+//!
+//! | status | name     | payload                                                        |
+//! |-------:|----------|----------------------------------------------------------------|
+//! | `0x00` | OK_NONE  | empty (key absent / write without prior value / pong)          |
+//! | `0x01` | OK_TID   | `[tid: u64]`                                                   |
+//! | `0x02` | OK_SCAN  | `[more: u8][token if more][count: u32][count × tid: u64]`      |
+//! | `0x03` | OK_BATCH | `[count: u32][count × sub-response bodies]`                    |
+//! | `0x04` | OK_TEXT  | `[tlen: u32][utf-8 bytes]`                                     |
+//! | `0x0F` | ERR      | `[code: u8][mlen: u16][utf-8 message]`                         |
+//!
+//! An OK_SCAN token (present when `more == 1`) is `[shard: u32][klen:
+//! u16][last key]` — the serialized [`ScanToken`] a RESUME request hands
+//! back to continue the scan.
+
+use hot_core::ScanToken;
+use std::fmt;
+
+/// Hard ceiling on one frame's body length. Anything larger is a protocol
+/// violation ([`ProtoError::FrameTooLarge`]): the decoder refuses to
+/// buffer it, so a hostile length prefix cannot balloon server memory.
+pub const MAX_FRAME: usize = 1 << 20;
+
+/// Largest key the protocol carries — the index's own per-key ceiling, so
+/// a frame that decodes is always safe to hand to the trie.
+pub const MAX_KEY: usize = hot_keys::MAX_KEY_LEN;
+
+/// Server-side clamp on one scan's result count, chosen so the largest
+/// OK_SCAN response still fits [`MAX_FRAME`] with room for the token.
+pub const MAX_SCAN_TIDS: usize = 100_000;
+
+/// Error codes carried by an ERR response.
+pub mod err_code {
+    /// The request body could not be decoded.
+    pub const BAD_FRAME: u8 = 1;
+    /// PUT named a TID whose stored key differs from the one sent.
+    pub const TID_MISMATCH: u8 = 2;
+    /// The server is draining connections after a SHUTDOWN.
+    pub const SHUTTING_DOWN: u8 = 3;
+}
+
+const OP_GET: u8 = 0x01;
+const OP_PUT: u8 = 0x02;
+const OP_DEL: u8 = 0x03;
+const OP_SCAN: u8 = 0x04;
+const OP_BATCH: u8 = 0x05;
+const OP_STATS: u8 = 0x06;
+const OP_PING: u8 = 0x07;
+const OP_SHUTDOWN: u8 = 0x08;
+const OP_RESUME: u8 = 0x09;
+
+const ST_NONE: u8 = 0x00;
+const ST_TID: u8 = 0x01;
+const ST_SCAN: u8 = 0x02;
+const ST_BATCH: u8 = 0x03;
+const ST_TEXT: u8 = 0x04;
+const ST_ERR: u8 = 0x0F;
+
+/// Typed decode failure. Every variant is a *protocol* violation — the
+/// decoder never panics on wire input, it returns one of these, and the
+/// server answers with an ERR frame and closes the connection (a framing
+/// error leaves no safe way to resynchronize the byte stream).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtoError {
+    /// A length prefix exceeded [`MAX_FRAME`].
+    FrameTooLarge(usize),
+    /// A zero-length body (every body holds at least an opcode).
+    EmptyFrame,
+    /// The body ended before its payload was complete.
+    Truncated(&'static str),
+    /// The body continued past its payload.
+    TrailingBytes(usize),
+    /// An opcode outside the request table.
+    UnknownOpcode(u8),
+    /// A status byte outside the response table.
+    UnknownStatus(u8),
+    /// A BATCH inside a BATCH.
+    NestedBatch,
+    /// A key length above [`MAX_KEY`].
+    KeyTooLong(usize),
+    /// A text payload that was not UTF-8.
+    BadText,
+}
+
+impl fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtoError::FrameTooLarge(n) => write!(f, "frame body of {n} bytes exceeds MAX_FRAME"),
+            ProtoError::EmptyFrame => write!(f, "zero-length frame body"),
+            ProtoError::Truncated(what) => write!(f, "frame body truncated reading {what}"),
+            ProtoError::TrailingBytes(n) => write!(f, "{n} trailing bytes after payload"),
+            ProtoError::UnknownOpcode(op) => write!(f, "unknown request opcode {op:#04x}"),
+            ProtoError::UnknownStatus(st) => write!(f, "unknown response status {st:#04x}"),
+            ProtoError::NestedBatch => write!(f, "BATCH nested inside BATCH"),
+            ProtoError::KeyTooLong(n) => write!(f, "key of {n} bytes exceeds MAX_KEY"),
+            ProtoError::BadText => write!(f, "text payload is not valid UTF-8"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+/// One decoded request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Point lookup.
+    Get {
+        /// The probed key.
+        key: Vec<u8>,
+    },
+    /// Upsert of `key → tid`. The server validates that `tid` resolves to
+    /// `key` in its tuple store before touching the index (see
+    /// [`err_code::TID_MISMATCH`]).
+    Put {
+        /// The tuple identifier to store.
+        tid: u64,
+        /// The key it must resolve to.
+        key: Vec<u8>,
+    },
+    /// Remove a key.
+    Del {
+        /// The key to remove.
+        key: Vec<u8>,
+    },
+    /// Range scan of up to `limit` entries from `start` (inclusive).
+    Scan {
+        /// First key of the range.
+        start: Vec<u8>,
+        /// Maximum entries returned (server-clamped to [`MAX_SCAN_TIDS`]).
+        limit: u32,
+    },
+    /// Continue a paged scan from a token minted by a previous
+    /// SCAN/RESUME response.
+    Resume {
+        /// The continuation token (strictly-after semantics).
+        token: ScanToken,
+        /// Maximum entries returned for this page.
+        limit: u32,
+    },
+    /// A client-assembled group of sub-requests answered by one OK_BATCH.
+    Batch(
+        /// The sub-requests, in execution order; never contains a nested
+        /// `Batch`.
+        Vec<Request>,
+    ),
+    /// Server metrics snapshot as an OK_TEXT JSON document.
+    Stats,
+    /// Liveness probe; answered with OK_NONE.
+    Ping,
+    /// Ask the server to stop accepting connections and exit cleanly.
+    Shutdown,
+}
+
+/// One decoded response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// OK with no value.
+    None,
+    /// OK with a tuple identifier.
+    Tid(u64),
+    /// Scan results plus an optional continuation token.
+    Scan {
+        /// The TIDs, in key order.
+        tids: Vec<u64>,
+        /// Present when the page filled — hand it to a RESUME request
+        /// for the next page.
+        token: Option<ScanToken>,
+    },
+    /// One sub-response per sub-request of a BATCH, in order.
+    Batch(
+        /// The sub-responses; never contains a nested `Batch`.
+        Vec<Response>,
+    ),
+    /// A UTF-8 document (STATS).
+    Text(String),
+    /// A typed failure.
+    Error {
+        /// One of the [`err_code`] constants.
+        code: u8,
+        /// Human-readable detail.
+        msg: String,
+    },
+}
+
+/// Bounded reader over one frame body.
+struct Cursor<'a> {
+    body: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(body: &'a [u8]) -> Cursor<'a> {
+        Cursor { body, at: 0 }
+    }
+
+    fn take(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], ProtoError> {
+        let end = self.at.checked_add(n).ok_or(ProtoError::Truncated(what))?;
+        let bytes = self.body.get(self.at..end).ok_or(ProtoError::Truncated(what))?;
+        self.at = end;
+        Ok(bytes)
+    }
+
+    fn u8(&mut self, what: &'static str) -> Result<u8, ProtoError> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    fn u16(&mut self, what: &'static str) -> Result<u16, ProtoError> {
+        Ok(u16::from_le_bytes(self.take(2, what)?.try_into().expect("len checked")))
+    }
+
+    fn u32(&mut self, what: &'static str) -> Result<u32, ProtoError> {
+        Ok(u32::from_le_bytes(self.take(4, what)?.try_into().expect("len checked")))
+    }
+
+    fn u64(&mut self, what: &'static str) -> Result<u64, ProtoError> {
+        Ok(u64::from_le_bytes(self.take(8, what)?.try_into().expect("len checked")))
+    }
+
+    /// `[klen: u16][key]`, bounded by [`MAX_KEY`].
+    fn key(&mut self) -> Result<Vec<u8>, ProtoError> {
+        let len = self.u16("key length")? as usize;
+        if len > MAX_KEY {
+            return Err(ProtoError::KeyTooLong(len));
+        }
+        Ok(self.take(len, "key bytes")?.to_vec())
+    }
+
+    fn done(&self) -> Result<(), ProtoError> {
+        if self.at == self.body.len() {
+            Ok(())
+        } else {
+            Err(ProtoError::TrailingBytes(self.body.len() - self.at))
+        }
+    }
+}
+
+fn put_key(out: &mut Vec<u8>, key: &[u8]) {
+    debug_assert!(key.len() <= MAX_KEY, "callers construct keys within MAX_KEY");
+    out.extend_from_slice(&(key.len() as u16).to_le_bytes());
+    out.extend_from_slice(key);
+}
+
+/// Reserve a frame's length slot, run `body`, then patch the slot with
+/// the encoded body length.
+fn frame(out: &mut Vec<u8>, body: impl FnOnce(&mut Vec<u8>)) {
+    let slot = out.len();
+    out.extend_from_slice(&[0u8; 4]);
+    body(out);
+    let len = out.len() - slot - 4;
+    debug_assert!(len <= MAX_FRAME, "encoded frame exceeds MAX_FRAME");
+    out[slot..slot + 4].copy_from_slice(&(len as u32).to_le_bytes());
+}
+
+impl Request {
+    /// Append this request as one complete frame (length prefix included).
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        frame(out, |out| self.encode_body(out));
+    }
+
+    /// Append the frame body only (opcode + payload) — the encoding of a
+    /// BATCH sub-request.
+    fn encode_body(&self, out: &mut Vec<u8>) {
+        match self {
+            Request::Get { key } => {
+                out.push(OP_GET);
+                put_key(out, key);
+            }
+            Request::Put { tid, key } => {
+                out.push(OP_PUT);
+                out.extend_from_slice(&tid.to_le_bytes());
+                put_key(out, key);
+            }
+            Request::Del { key } => {
+                out.push(OP_DEL);
+                put_key(out, key);
+            }
+            Request::Scan { start, limit } => {
+                out.push(OP_SCAN);
+                out.extend_from_slice(&limit.to_le_bytes());
+                put_key(out, start);
+            }
+            Request::Resume { token, limit } => {
+                out.push(OP_RESUME);
+                out.extend_from_slice(&limit.to_le_bytes());
+                out.extend_from_slice(&token.shard.to_le_bytes());
+                put_key(out, &token.last_key);
+            }
+            Request::Batch(subs) => {
+                out.push(OP_BATCH);
+                out.extend_from_slice(&(subs.len() as u32).to_le_bytes());
+                for sub in subs {
+                    debug_assert!(
+                        !matches!(sub, Request::Batch(_)),
+                        "BATCH must not nest (rejected on decode)"
+                    );
+                    sub.encode_body(out);
+                }
+            }
+            Request::Stats => out.push(OP_STATS),
+            Request::Ping => out.push(OP_PING),
+            Request::Shutdown => out.push(OP_SHUTDOWN),
+        }
+    }
+
+    /// Decode one frame body. Rejects trailing bytes, so a frame is
+    /// exactly one request.
+    pub fn decode(body: &[u8]) -> Result<Request, ProtoError> {
+        let mut cur = Cursor::new(body);
+        let req = Request::decode_body(&mut cur, true)?;
+        cur.done()?;
+        Ok(req)
+    }
+
+    fn decode_body(cur: &mut Cursor<'_>, allow_batch: bool) -> Result<Request, ProtoError> {
+        match cur.u8("opcode")? {
+            OP_GET => Ok(Request::Get { key: cur.key()? }),
+            OP_PUT => {
+                let tid = cur.u64("PUT tid")?;
+                Ok(Request::Put { tid, key: cur.key()? })
+            }
+            OP_DEL => Ok(Request::Del { key: cur.key()? }),
+            OP_SCAN => {
+                let limit = cur.u32("SCAN limit")?;
+                Ok(Request::Scan { start: cur.key()?, limit })
+            }
+            OP_RESUME => {
+                let limit = cur.u32("RESUME limit")?;
+                let shard = cur.u32("RESUME shard")?;
+                let last_key = cur.key()?;
+                Ok(Request::Resume { token: ScanToken { shard, last_key }, limit })
+            }
+            OP_BATCH if allow_batch => {
+                let count = cur.u32("BATCH count")?;
+                // Each sub-request consumes at least its opcode byte, so a
+                // hostile count is caught by Truncated after at most
+                // `body.len()` iterations — no allocation up front.
+                let mut subs = Vec::with_capacity((count as usize).min(cur.body.len()));
+                for _ in 0..count {
+                    subs.push(Request::decode_body(cur, false)?);
+                }
+                Ok(Request::Batch(subs))
+            }
+            OP_BATCH => Err(ProtoError::NestedBatch),
+            OP_STATS => Ok(Request::Stats),
+            OP_PING => Ok(Request::Ping),
+            OP_SHUTDOWN => Ok(Request::Shutdown),
+            other => Err(ProtoError::UnknownOpcode(other)),
+        }
+    }
+}
+
+impl Response {
+    /// Append this response as one complete frame (length prefix included).
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        frame(out, |out| self.encode_body(out));
+    }
+
+    fn encode_body(&self, out: &mut Vec<u8>) {
+        match self {
+            Response::None => out.push(ST_NONE),
+            Response::Tid(tid) => {
+                out.push(ST_TID);
+                out.extend_from_slice(&tid.to_le_bytes());
+            }
+            Response::Scan { tids, token } => {
+                out.push(ST_SCAN);
+                match token {
+                    Some(t) => {
+                        out.push(1);
+                        out.extend_from_slice(&t.shard.to_le_bytes());
+                        put_key(out, &t.last_key);
+                    }
+                    Option::None => out.push(0),
+                }
+                out.extend_from_slice(&(tids.len() as u32).to_le_bytes());
+                for tid in tids {
+                    out.extend_from_slice(&tid.to_le_bytes());
+                }
+            }
+            Response::Batch(subs) => {
+                out.push(ST_BATCH);
+                out.extend_from_slice(&(subs.len() as u32).to_le_bytes());
+                for sub in subs {
+                    debug_assert!(
+                        !matches!(sub, Response::Batch(_)),
+                        "OK_BATCH must not nest (rejected on decode)"
+                    );
+                    sub.encode_body(out);
+                }
+            }
+            Response::Text(text) => {
+                out.push(ST_TEXT);
+                out.extend_from_slice(&(text.len() as u32).to_le_bytes());
+                out.extend_from_slice(text.as_bytes());
+            }
+            Response::Error { code, msg } => {
+                out.push(ST_ERR);
+                out.push(*code);
+                let msg = &msg.as_bytes()[..msg.len().min(u16::MAX as usize)];
+                out.extend_from_slice(&(msg.len() as u16).to_le_bytes());
+                out.extend_from_slice(msg);
+            }
+        }
+    }
+
+    /// Decode one frame body. Rejects trailing bytes, so a frame is
+    /// exactly one response.
+    pub fn decode(body: &[u8]) -> Result<Response, ProtoError> {
+        let mut cur = Cursor::new(body);
+        let resp = Response::decode_body(&mut cur, true)?;
+        cur.done()?;
+        Ok(resp)
+    }
+
+    fn decode_body(cur: &mut Cursor<'_>, allow_batch: bool) -> Result<Response, ProtoError> {
+        match cur.u8("status")? {
+            ST_NONE => Ok(Response::None),
+            ST_TID => Ok(Response::Tid(cur.u64("OK_TID tid")?)),
+            ST_SCAN => {
+                let token = match cur.u8("OK_SCAN more flag")? {
+                    0 => Option::None,
+                    _ => {
+                        let shard = cur.u32("OK_SCAN token shard")?;
+                        Some(ScanToken { shard, last_key: cur.key()? })
+                    }
+                };
+                let count = cur.u32("OK_SCAN count")? as usize;
+                // A true count is bounded by the remaining payload; refuse
+                // to allocate more than that for a hostile one.
+                if count > cur.body.len().saturating_sub(cur.at) / 8 {
+                    return Err(ProtoError::Truncated("OK_SCAN tids"));
+                }
+                let mut tids = Vec::with_capacity(count);
+                for _ in 0..count {
+                    tids.push(cur.u64("OK_SCAN tid")?);
+                }
+                Ok(Response::Scan { tids, token })
+            }
+            ST_BATCH if allow_batch => {
+                let count = cur.u32("OK_BATCH count")?;
+                let mut subs = Vec::with_capacity((count as usize).min(cur.body.len()));
+                for _ in 0..count {
+                    subs.push(Response::decode_body(cur, false)?);
+                }
+                Ok(Response::Batch(subs))
+            }
+            ST_BATCH => Err(ProtoError::NestedBatch),
+            ST_TEXT => {
+                let len = cur.u32("OK_TEXT length")? as usize;
+                let bytes = cur.take(len, "OK_TEXT bytes")?;
+                let text = std::str::from_utf8(bytes).map_err(|_| ProtoError::BadText)?;
+                Ok(Response::Text(text.to_string()))
+            }
+            ST_ERR => {
+                let code = cur.u8("ERR code")?;
+                let len = cur.u16("ERR message length")? as usize;
+                let bytes = cur.take(len, "ERR message bytes")?;
+                let msg = std::str::from_utf8(bytes).map_err(|_| ProtoError::BadText)?;
+                Ok(Response::Error { code, msg: msg.to_string() })
+            }
+            other => Err(ProtoError::UnknownStatus(other)),
+        }
+    }
+}
+
+/// Incremental frame splitter: feed it raw socket reads, pull complete
+/// frame bodies out. Tolerates any split of the byte stream — a frame may
+/// arrive one byte at a time or many frames may land in one read.
+///
+/// The decoder is format-agnostic: it enforces only the length-prefix
+/// framing ([`MAX_FRAME`], non-empty bodies); [`Request::decode`] /
+/// [`Response::decode`] interpret the bodies it yields.
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    /// Bytes of `buf` already consumed by yielded frames.
+    pos: usize,
+}
+
+impl FrameDecoder {
+    /// An empty decoder.
+    pub fn new() -> FrameDecoder {
+        FrameDecoder::default()
+    }
+
+    /// Append raw bytes from the transport.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        // Reclaim the consumed prefix before growing, so a long-lived
+        // connection's buffer stays proportional to its in-flight data.
+        if self.pos > 0 && (self.pos >= self.buf.len() || self.pos >= 4096) {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet yielded as frames.
+    pub fn pending(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Yield the next complete frame body, `Ok(None)` when more bytes are
+    /// needed, or a framing error (after which the stream cannot be
+    /// resynchronized and should be closed).
+    pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>, ProtoError> {
+        let avail = self.pending();
+        if avail < 4 {
+            return Ok(None);
+        }
+        let at = self.pos;
+        let len =
+            u32::from_le_bytes(self.buf[at..at + 4].try_into().expect("len checked")) as usize;
+        if len == 0 {
+            return Err(ProtoError::EmptyFrame);
+        }
+        if len > MAX_FRAME {
+            return Err(ProtoError::FrameTooLarge(len));
+        }
+        if avail < 4 + len {
+            return Ok(None);
+        }
+        let body = self.buf[at + 4..at + 4 + len].to_vec();
+        self.pos = at + 4 + len;
+        Ok(Some(body))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_each_request() {
+        let reqs = vec![
+            Request::Get { key: b"k".to_vec() },
+            Request::Put { tid: 7, key: b"key".to_vec() },
+            Request::Del { key: Vec::new() },
+            Request::Scan { start: b"a".to_vec(), limit: 100 },
+            Request::Resume {
+                token: ScanToken { shard: 3, last_key: b"zz".to_vec() },
+                limit: 5,
+            },
+            Request::Batch(vec![Request::Ping, Request::Get { key: b"x".to_vec() }]),
+            Request::Stats,
+            Request::Ping,
+            Request::Shutdown,
+        ];
+        let mut wire = Vec::new();
+        for r in &reqs {
+            r.encode(&mut wire);
+        }
+        let mut dec = FrameDecoder::new();
+        dec.feed(&wire);
+        for want in &reqs {
+            let body = dec.next_frame().unwrap().expect("frame present");
+            assert_eq!(&Request::decode(&body).unwrap(), want);
+        }
+        assert_eq!(dec.next_frame().unwrap(), None);
+    }
+
+    #[test]
+    fn round_trip_each_response() {
+        let resps = vec![
+            Response::None,
+            Response::Tid(u64::MAX),
+            Response::Scan { tids: vec![1, 2, 3], token: None },
+            Response::Scan {
+                tids: vec![9],
+                token: Some(ScanToken { shard: 1, last_key: b"m".to_vec() }),
+            },
+            Response::Batch(vec![Response::None, Response::Tid(4)]),
+            Response::Text("{\"ok\":true}".to_string()),
+            Response::Error { code: err_code::BAD_FRAME, msg: "nope".to_string() },
+        ];
+        let mut wire = Vec::new();
+        for r in &resps {
+            r.encode(&mut wire);
+        }
+        let mut dec = FrameDecoder::new();
+        dec.feed(&wire);
+        for want in &resps {
+            let body = dec.next_frame().unwrap().expect("frame present");
+            assert_eq!(&Response::decode(&body).unwrap(), want);
+        }
+    }
+
+    #[test]
+    fn split_reads_reassemble() {
+        let mut wire = Vec::new();
+        Request::Put { tid: 42, key: b"hello".to_vec() }.encode(&mut wire);
+        for chunk in [1usize, 2, 3, 7] {
+            let mut dec = FrameDecoder::new();
+            let mut got = Vec::new();
+            for piece in wire.chunks(chunk) {
+                dec.feed(piece);
+                while let Some(body) = dec.next_frame().unwrap() {
+                    got.push(Request::decode(&body).unwrap());
+                }
+            }
+            assert_eq!(got, vec![Request::Put { tid: 42, key: b"hello".to_vec() }]);
+        }
+    }
+
+    #[test]
+    fn framing_violations_are_typed() {
+        let mut dec = FrameDecoder::new();
+        dec.feed(&0u32.to_le_bytes());
+        assert_eq!(dec.next_frame(), Err(ProtoError::EmptyFrame));
+
+        let mut dec = FrameDecoder::new();
+        dec.feed(&(MAX_FRAME as u32 + 1).to_le_bytes());
+        assert_eq!(dec.next_frame(), Err(ProtoError::FrameTooLarge(MAX_FRAME + 1)));
+
+        assert_eq!(Request::decode(&[]), Err(ProtoError::Truncated("opcode")));
+        assert_eq!(Request::decode(&[0x7E]), Err(ProtoError::UnknownOpcode(0x7E)));
+        assert_eq!(Request::decode(&[OP_PING, 0]), Err(ProtoError::TrailingBytes(1)));
+        // A BATCH containing a BATCH.
+        let nested = [OP_BATCH, 1, 0, 0, 0, OP_BATCH, 0, 0, 0, 0];
+        assert_eq!(Request::decode(&nested), Err(ProtoError::NestedBatch));
+    }
+}

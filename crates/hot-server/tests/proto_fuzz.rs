@@ -1,0 +1,201 @@
+//! Protocol fuzzing: the frame decoder and both body codecs must be total
+//! over arbitrary wire input — any byte sequence either decodes or
+//! returns a typed [`ProtoError`], never panics, never over-allocates —
+//! and encode → (arbitrarily split) decode must be the identity on every
+//! representable request and response.
+//!
+//! Runs in the normal, `HOT_FORCE_SCALAR` and `HOT_ARENA` CI lanes; the
+//! decoder is index-independent, so identical behavior across lanes is
+//! itself part of the property.
+
+use hot_core::ScanToken;
+use hot_server::protocol::{FrameDecoder, ProtoError, Request, Response, MAX_FRAME};
+use proptest::prelude::*;
+
+fn key() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(any::<u8>(), 0..48)
+}
+
+fn token() -> impl Strategy<Value = ScanToken> {
+    (any::<u32>(), key()).prop_map(|(shard, last_key)| ScanToken { shard, last_key })
+}
+
+/// Any non-BATCH request.
+fn scalar_request() -> BoxedStrategy<Request> {
+    prop_oneof![
+        4 => key().prop_map(|key| Request::Get { key }),
+        3 => (any::<u64>(), key()).prop_map(|(tid, key)| Request::Put { tid, key }),
+        2 => key().prop_map(|key| Request::Del { key }),
+        2 => (key(), any::<u32>()).prop_map(|(start, limit)| Request::Scan { start, limit }),
+        2 => (token(), any::<u32>()).prop_map(|(token, limit)| Request::Resume { token, limit }),
+        1 => (0u32..1).prop_map(|_| Request::Stats),
+        1 => (0u32..1).prop_map(|_| Request::Ping),
+        1 => (0u32..1).prop_map(|_| Request::Shutdown),
+    ]
+    .boxed()
+}
+
+/// Any request, including single-level BATCH groups.
+fn request() -> BoxedStrategy<Request> {
+    prop_oneof![
+        5 => scalar_request(),
+        1 => proptest::collection::vec(scalar_request(), 0..6).prop_map(Request::Batch),
+    ]
+    .boxed()
+}
+
+fn ascii() -> impl Strategy<Value = String> {
+    proptest::collection::vec(32u8..127, 0..40)
+        .prop_map(|bytes| String::from_utf8(bytes).expect("printable ascii"))
+}
+
+/// Any non-BATCH response.
+fn scalar_response() -> BoxedStrategy<Response> {
+    prop_oneof![
+        2 => (0u32..1).prop_map(|_| Response::None),
+        3 => any::<u64>().prop_map(Response::Tid),
+        3 => (proptest::collection::vec(any::<u64>(), 0..20), any::<bool>(), token()).prop_map(
+            |(tids, more, token)| Response::Scan { tids, token: more.then_some(token) }
+        ),
+        1 => ascii().prop_map(Response::Text),
+        1 => (any::<u8>(), ascii()).prop_map(|(code, msg)| Response::Error { code, msg }),
+    ]
+    .boxed()
+}
+
+fn response() -> BoxedStrategy<Response> {
+    prop_oneof![
+        5 => scalar_response(),
+        1 => proptest::collection::vec(scalar_response(), 0..6).prop_map(Response::Batch),
+    ]
+    .boxed()
+}
+
+/// Feed `wire` to a fresh decoder in the given chunk sizes and collect
+/// every decoded frame body.
+fn decode_split(wire: &[u8], chunks: &[usize]) -> Vec<Vec<u8>> {
+    let mut dec = FrameDecoder::new();
+    let mut out = Vec::new();
+    let mut at = 0;
+    let mut chunk_idx = 0;
+    while at < wire.len() {
+        let step = chunks.get(chunk_idx).copied().unwrap_or(7).clamp(1, wire.len() - at);
+        chunk_idx += 1;
+        dec.feed(&wire[at..at + step]);
+        at += step;
+        while let Some(body) = dec.next_frame().expect("valid stream") {
+            out.push(body);
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// encode → decode is the identity for any request pipeline, at any
+    /// read fragmentation.
+    #[test]
+    fn request_round_trip_survives_any_split(
+        reqs in proptest::collection::vec(request(), 1..8),
+        chunks in proptest::collection::vec(1usize..64, 1..32),
+    ) {
+        let mut wire = Vec::new();
+        for r in &reqs {
+            r.encode(&mut wire);
+        }
+        let bodies = decode_split(&wire, &chunks);
+        prop_assert_eq!(bodies.len(), reqs.len());
+        for (body, want) in bodies.iter().zip(&reqs) {
+            prop_assert_eq!(&Request::decode(body).expect("own encoding decodes"), want);
+        }
+    }
+
+    /// encode → decode is the identity for any response pipeline, at any
+    /// read fragmentation.
+    #[test]
+    fn response_round_trip_survives_any_split(
+        resps in proptest::collection::vec(response(), 1..8),
+        chunks in proptest::collection::vec(1usize..64, 1..32),
+    ) {
+        let mut wire = Vec::new();
+        for r in &resps {
+            r.encode(&mut wire);
+        }
+        let bodies = decode_split(&wire, &chunks);
+        prop_assert_eq!(bodies.len(), resps.len());
+        for (body, want) in bodies.iter().zip(&resps) {
+            prop_assert_eq!(&Response::decode(body).expect("own encoding decodes"), want);
+        }
+    }
+
+    /// Arbitrary bytes never panic the decoder or the body codecs: every
+    /// outcome is a decoded value or a typed error.
+    #[test]
+    fn arbitrary_bytes_never_panic(
+        junk in proptest::collection::vec(any::<u8>(), 0..256),
+        chunks in proptest::collection::vec(1usize..32, 1..16),
+    ) {
+        let mut dec = FrameDecoder::new();
+        let mut at = 0;
+        let mut chunk_idx = 0;
+        'outer: while at < junk.len() {
+            let step = chunks.get(chunk_idx).copied().unwrap_or(5).clamp(1, junk.len() - at);
+            chunk_idx += 1;
+            dec.feed(&junk[at..at + step]);
+            at += step;
+            loop {
+                match dec.next_frame() {
+                    Ok(Some(body)) => {
+                        // Both interpretations must be total on the body.
+                        let _ = Request::decode(&body);
+                        let _ = Response::decode(&body);
+                    }
+                    Ok(None) => break,
+                    // A framing violation ends the stream, as it would
+                    // end the connection.
+                    Err(_) => break 'outer,
+                }
+            }
+        }
+    }
+
+    /// Any truncation of a valid frame yields `Ok(None)` (wait for more
+    /// bytes), never an error and never a phantom frame.
+    #[test]
+    fn truncated_frames_wait_for_more(req in request(), cut in any::<u16>()) {
+        let mut wire = Vec::new();
+        req.encode(&mut wire);
+        let cut = (cut as usize) % wire.len(); // strictly short of complete
+        let mut dec = FrameDecoder::new();
+        dec.feed(&wire[..cut]);
+        prop_assert_eq!(dec.next_frame(), Ok(None));
+        // Completing the bytes completes the frame.
+        dec.feed(&wire[cut..]);
+        let body = dec.next_frame().expect("valid stream").expect("complete frame");
+        prop_assert_eq!(Request::decode(&body).expect("own encoding decodes"), req);
+    }
+
+    /// A hostile length prefix is rejected before any allocation of its
+    /// claimed size.
+    #[test]
+    fn oversized_length_prefix_is_rejected(extra in 1u32..=u32::MAX - MAX_FRAME as u32) {
+        let len = MAX_FRAME as u32 + extra;
+        let mut dec = FrameDecoder::new();
+        dec.feed(&len.to_le_bytes());
+        prop_assert_eq!(dec.next_frame(), Err(ProtoError::FrameTooLarge(len as usize)));
+    }
+
+    /// A truncated BATCH count cannot cause an oversized allocation or a
+    /// hang: decode returns a typed error.
+    #[test]
+    fn hostile_batch_count_is_bounded(count in 1u32..=u32::MAX, tail in key()) {
+        let mut body = vec![0x05u8]; // OP_BATCH
+        body.extend_from_slice(&count.to_le_bytes());
+        body.extend_from_slice(&tail);
+        // Either the tail happens to decode as `count` sub-requests (only
+        // possible for tiny counts) or we get a typed error; both are
+        // fine, a panic or OOM is not.
+        let _ = Request::decode(&body);
+    }
+}

@@ -59,6 +59,20 @@ impl DatasetKind {
     }
 }
 
+impl std::str::FromStr for DatasetKind {
+    type Err = String;
+
+    /// Parse a figure label (`"url"`, `"email"`, `"yago"`, `"integer"`,
+    /// case-insensitive) — the CLI convention of the server and the
+    /// network YCSB driver.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        DatasetKind::ALL
+            .into_iter()
+            .find(|k| k.label().eq_ignore_ascii_case(s))
+            .ok_or_else(|| format!("unknown data set {s:?} (expected url/email/yago/integer)"))
+    }
+}
+
 /// A generated key set: distinct, prefix-free, in shuffled insert order.
 #[derive(Debug, Clone)]
 pub struct Dataset {

@@ -69,6 +69,32 @@ impl Workload {
             _ => 0.0,
         }
     }
+
+    /// The bare letter, e.g. `"A"` (the [`label`](Self::label) is the
+    /// long figure caption).
+    pub fn letter(self) -> &'static str {
+        match self {
+            Workload::A => "A",
+            Workload::B => "B",
+            Workload::C => "C",
+            Workload::D => "D",
+            Workload::E => "E",
+            Workload::F => "F",
+        }
+    }
+}
+
+impl std::str::FromStr for Workload {
+    type Err = String;
+
+    /// Parse a workload letter (`"A"`..`"F"`, case-insensitive) — the
+    /// CLI convention of the network YCSB driver's `--workloads` list.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Workload::ALL
+            .into_iter()
+            .find(|w| w.letter().eq_ignore_ascii_case(s))
+            .ok_or_else(|| format!("unknown workload {s:?} (expected A-F)"))
+    }
 }
 
 /// How request keys are selected.

@@ -2,7 +2,8 @@
 //!
 //! Runs the fig8 smoke benchmark (`--keys 50000 --ops 50000 --batch 8
 //! --bulk --ooo`), the fig9 arena-footprint smoke (`--keys 50000
-//! --arena`), and the fig10 sharded-router smoke (`--shards 2,4`) in a
+//! --arena`), the fig10 sharded-router smoke (`--shards 2,4`), and the
+//! fig_net loopback-serving smoke (`--check`) in a
 //! scratch working directory (`target/bench-check/`, so
 //! the checked-in `results/` files are never clobbered). Because a
 //! 50 k-op smoke cell is noisy on shared hosts, the smoke runs
@@ -18,10 +19,11 @@
 //! regressions are persistent across passes, so they fall through the
 //! floor; scheduler hiccups do not survive the extreme fold.
 //!
-//! Two field families with opposite polarities are gated: `*_mops`
-//! throughputs (higher is better) and `*_bpk` bytes-per-key memory
-//! footprints from `BENCH_arena.json` (lower is better — "worst" is the
-//! maximum, a regression is growth past the baseline ceiling).
+//! Three field families are gated: `*_mops` throughputs (higher is
+//! better), `*_bpk` bytes-per-key memory footprints from
+//! `BENCH_arena.json`, and `*_us` latency percentiles from
+//! `BENCH_net.json` (both lower is better — "worst" is the maximum, a
+//! regression is growth past the baseline ceiling).
 
 use crate::json::{self, Json};
 use std::path::Path;
@@ -50,6 +52,14 @@ const SHARD_SMOKE_ARGS: &[&str] = &[
     "--keys", "20000", "--ops", "200000", "--threads", "1", "--shards", "2,4",
 ];
 
+/// The fig_net serving smoke: the full dataset × shard matrix at 50 k
+/// keys/ops over loopback, with every phase's checksum verified against
+/// the in-process driver (`--check` turns a mismatch into a non-zero
+/// exit, which fails the gate outright before any threshold comparison).
+/// Gates the `net*` rows' `*_mops` throughputs and `*_us` latency
+/// percentiles in `BENCH_net.json`.
+const NET_SMOKE_ARGS: &[&str] = &["--keys", "50000", "--ops", "50000", "--check"];
+
 /// The JSON reports the smokes produce and gate on.
 const BENCH_FILES: &[&str] = &[
     "BENCH_batch.json",
@@ -58,12 +68,15 @@ const BENCH_FILES: &[&str] = &[
     "BENCH_ooo.json",
     "BENCH_arena.json",
     "BENCH_shard.json",
+    "BENCH_net.json",
 ];
 
-/// `*_bpk` fields gate memory footprint: lower is better, so the fold and
-/// the comparison run with inverted polarity relative to `*_mops`.
+/// Fields gated with inverted polarity relative to `*_mops`: `*_bpk`
+/// bytes-per-key footprints and `*_us` latency percentiles — for both,
+/// "worst" is the maximum and a regression is growth past the baseline
+/// ceiling.
 fn lower_is_better(field: &str) -> bool {
-    field.ends_with("_bpk")
+    field.ends_with("_bpk") || field.ends_with("_us")
 }
 
 /// Run the gate (or refresh the committed baselines with `--update`).
@@ -98,10 +111,11 @@ pub fn bench_check(update: bool) -> ExitCode {
     let mut floor: BestTable = Vec::new();
     for run in 1..=runs {
         let _ = std::fs::remove_dir_all(&fresh_dir);
-        let smokes: [(&str, &[&str]); 3] = [
+        let smokes: [(&str, &[&str]); 4] = [
             ("fig8_throughput", SMOKE_ARGS),
             ("fig9_memory", ARENA_SMOKE_ARGS),
             ("fig10_scalability", SHARD_SMOKE_ARGS),
+            ("fig_net", NET_SMOKE_ARGS),
         ];
         for (bin, args) in smokes {
             eprintln!(
@@ -199,18 +213,19 @@ pub fn bench_check(update: bool) -> ExitCode {
                 checked += 1;
                 let ratio = if *base > 0.0 { new / base } else { 1.0 };
                 if lower_is_better(field) {
-                    // Memory footprint: the baseline is a ceiling; growth
-                    // past it by more than the tolerance fails.
+                    // Lower is better (B/key footprints, latency µs): the
+                    // baseline is a ceiling; growth past it by more than
+                    // the tolerance fails.
                     let ceiling = base * (1.0 + tolerance);
                     if *new > ceiling {
                         failures.push(format!(
-                            "{name}: {key}.{field} regressed: baseline {base:.3} -> {new:.3} B/key ({:.0}% of baseline, ceiling {:.0}%)",
+                            "{name}: {key}.{field} regressed: baseline {base:.3} -> {new:.3} ({:.0}% of baseline ceiling, allowed {:.0}%)",
                             ratio * 100.0,
                             (1.0 + tolerance) * 100.0
                         ));
                     } else {
                         println!(
-                            "bench-check: ok {key}.{field}: {base:.3} -> {new:.3} B/key ({:.0}%)",
+                            "bench-check: ok {key}.{field}: {base:.3} -> {new:.3} ({:.0}% of ceiling baseline)",
                             ratio * 100.0
                         );
                     }
@@ -345,7 +360,14 @@ fn load_rows(path: &Path) -> Result<RowTable, String> {
         let fields: Vec<(String, f64)> = row
             .entries()
             .iter()
-            .filter(|(name, _)| name.ends_with("_mops") || lower_is_better(name))
+            // p999 on a shared host is dominated by scheduler-preemption
+            // spikes (single ops landing 3-4ms late) that survive even the
+            // best-of-N/worst-of-N extreme folds; it is recorded in the
+            // JSON for inspection but excluded from the gate — p50/p99 are
+            // the stable latency gates.
+            .filter(|(name, _)| {
+                (name.ends_with("_mops") || lower_is_better(name)) && !name.contains("p999")
+            })
             .filter_map(|(name, v)| v.as_f64().map(|x| (name.clone(), x)))
             .collect();
         if fields.is_empty() {

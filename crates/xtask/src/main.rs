@@ -14,6 +14,9 @@
 //!   perf-regression gate over the fig8 smoke's BENCH_*.json reports.
 //! * [`no_metrics`] (`cargo xtask verify-no-metrics`) — structural proof
 //!   that the `metrics` feature is zero-cost when disabled.
+//! * [`server_smoke`] (`cargo xtask server-smoke`) — end-to-end network
+//!   gate: real hot-server processes driven by the net_ycsb client with
+//!   checksum verification and clean-shutdown assertions.
 
 mod audit;
 mod bench_check;
@@ -21,6 +24,7 @@ mod json;
 mod lexer;
 mod lint;
 mod no_metrics;
+mod server_smoke;
 mod toml;
 
 use std::path::{Path, PathBuf};
@@ -32,7 +36,8 @@ fn usage() -> ExitCode {
          lint [--json]           run the workspace lint suite (atomics / hot-path / epoch / unsafe-budget)\n  \
          audit-unsafe [--json]   check every unsafe site for a SAFETY justification\n  \
          bench-check [--update]  run the fig8 smoke bench and gate on results/baselines/\n  \
-         verify-no-metrics       assert the default build links no hot_metrics code"
+         verify-no-metrics       assert the default build links no hot_metrics code\n  \
+         server-smoke            spawn hot-server per dataset/shard count and verify network YCSB checksums"
     );
     ExitCode::FAILURE
 }
@@ -44,6 +49,7 @@ fn main() -> ExitCode {
         Some("audit-unsafe") => audit::audit_unsafe(args.next().as_deref() == Some("--json")),
         Some("bench-check") => bench_check::bench_check(args.next().as_deref() == Some("--update")),
         Some("verify-no-metrics") => no_metrics::verify_no_metrics(),
+        Some("server-smoke") => server_smoke::server_smoke(),
         Some(other) => {
             eprintln!("unknown xtask command: {other}\n");
             usage()

@@ -1,0 +1,176 @@
+//! `cargo xtask server-smoke` — the network CI lane's end-to-end gate.
+//!
+//! Builds the release `hot-server` and `net_ycsb` binaries, then for
+//! every data set × shard count {1, 4}: spawns a real server process on
+//! an ephemeral loopback port, parses the `LISTENING <addr>` line it
+//! prints, and runs the network YCSB client against it with `--check`
+//! (every workload A/C/E checksum must match the in-process driver
+//! byte-for-byte) and `--shutdown` (the client's final frame stops the
+//! server). Both processes must exit 0 — a wedged shutdown shows up as
+//! the server process never exiting, which the wait-with-deadline below
+//! turns into a failure rather than a hung CI job.
+
+use std::io::{BufRead, BufReader};
+use std::process::{Child, Command, ExitCode, Stdio};
+use std::time::{Duration, Instant};
+
+/// Smoke scale: small enough for CI, large enough that windows refill
+/// many times and every shard sees real traffic.
+const KEYS: &str = "20000";
+const OPS: &str = "20000";
+const SEED: &str = "42";
+const DATASETS: [&str; 4] = ["url", "email", "yago", "integer"];
+const SHARD_COUNTS: [&str; 2] = ["1", "4"];
+
+/// How long a server process may take to wind down after the client's
+/// SHUTDOWN frame before the smoke declares it wedged.
+const SHUTDOWN_DEADLINE: Duration = Duration::from_secs(60);
+
+/// Run the full matrix.
+pub fn server_smoke() -> ExitCode {
+    let root = crate::workspace_root();
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".into());
+
+    let build = Command::new(&cargo)
+        .args(["build", "--release", "-p", "hot-server", "-p", "hot-client"])
+        .current_dir(&root)
+        .status();
+    if !matches!(build, Ok(s) if s.success()) {
+        eprintln!("server-smoke: release build failed");
+        return ExitCode::FAILURE;
+    }
+    let exe = std::env::consts::EXE_SUFFIX;
+    let server_bin = root.join("target").join("release").join(format!("hot-server{exe}"));
+    let client_bin = root.join("target").join("release").join(format!("net_ycsb{exe}"));
+
+    for dataset in DATASETS {
+        for shards in SHARD_COUNTS {
+            eprintln!("server-smoke: dataset={dataset} shards={shards} keys={KEYS} ops={OPS}");
+            let mut server = match Command::new(&server_bin)
+                .args([
+                    "--addr", "127.0.0.1:0",
+                    "--dataset", dataset,
+                    "--keys", KEYS,
+                    "--ops", OPS,
+                    "--seed", SEED,
+                    "--shards", shards,
+                ])
+                .stdout(Stdio::piped())
+                .current_dir(&root)
+                .spawn()
+            {
+                Ok(child) => child,
+                Err(e) => {
+                    eprintln!("server-smoke: cannot spawn hot-server: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let addr = match read_listening_line(&mut server) {
+                Ok(addr) => addr,
+                Err(e) => {
+                    eprintln!("server-smoke: no LISTENING line from hot-server: {e}");
+                    let _ = server.kill();
+                    return ExitCode::FAILURE;
+                }
+            };
+
+            let client = Command::new(&client_bin)
+                .args([
+                    "--addr", &addr,
+                    "--dataset", dataset,
+                    "--keys", KEYS,
+                    "--ops", OPS,
+                    "--seed", SEED,
+                    "--shards", shards,
+                    "--workloads", "A,C,E",
+                    "--check",
+                    "--shutdown",
+                ])
+                .current_dir(&root)
+                .status();
+            match client {
+                Ok(s) if s.success() => {}
+                Ok(s) => {
+                    eprintln!(
+                        "server-smoke: net_ycsb failed with {s} (dataset={dataset} shards={shards})"
+                    );
+                    let _ = server.kill();
+                    return ExitCode::FAILURE;
+                }
+                Err(e) => {
+                    eprintln!("server-smoke: cannot spawn net_ycsb: {e}");
+                    let _ = server.kill();
+                    return ExitCode::FAILURE;
+                }
+            }
+
+            // The client's SHUTDOWN frame must wind the whole server
+            // down: every connection thread joined, exit code 0.
+            match wait_with_deadline(&mut server, SHUTDOWN_DEADLINE) {
+                Some(status) if status.success() => {
+                    eprintln!("server-smoke: ok dataset={dataset} shards={shards} (clean shutdown)");
+                }
+                Some(status) => {
+                    eprintln!("server-smoke: hot-server exited with {status}");
+                    return ExitCode::FAILURE;
+                }
+                None => {
+                    eprintln!(
+                        "server-smoke: hot-server still running {}s after SHUTDOWN — wedged",
+                        SHUTDOWN_DEADLINE.as_secs()
+                    );
+                    let _ = server.kill();
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    }
+    println!(
+        "server-smoke: ok — {} dataset(s) x {} shard count(s): network checksums match in-process, clean shutdowns",
+        DATASETS.len(),
+        SHARD_COUNTS.len()
+    );
+    ExitCode::SUCCESS
+}
+
+/// Read stdout lines until the `LISTENING <addr>` announcement.
+fn read_listening_line(server: &mut Child) -> Result<String, String> {
+    let stdout = server.stdout.take().ok_or("stdout not captured")?;
+    let mut reader = BufReader::new(stdout);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) => return Err("server closed stdout before announcing its address".into()),
+            Ok(_) => {
+                if let Some(addr) = line.trim().strip_prefix("LISTENING ") {
+                    // Keep draining stdout in the background so the server
+                    // never blocks on a full pipe.
+                    std::thread::spawn(move || {
+                        let mut sink = String::new();
+                        while matches!(reader.read_line(&mut sink), Ok(n) if n > 0) {
+                            sink.clear();
+                        }
+                    });
+                    return Ok(addr.to_string());
+                }
+            }
+            Err(e) => return Err(e.to_string()),
+        }
+    }
+}
+
+/// Poll-wait for the child with a deadline; `None` if it never exits.
+fn wait_with_deadline(child: &mut Child, deadline: Duration) -> Option<std::process::ExitStatus> {
+    let start = Instant::now();
+    loop {
+        match child.try_wait() {
+            Ok(Some(status)) => return Some(status),
+            Ok(None) if start.elapsed() < deadline => {
+                std::thread::sleep(Duration::from_millis(50));
+            }
+            Ok(None) => return None,
+            Err(_) => return None,
+        }
+    }
+}
