@@ -29,8 +29,12 @@
 //! | `0x09` | RESUME   | `[limit: u32][shard: u32][klen: u16][last key]`  |
 //!
 //! Sub-requests inside a BATCH are encoded exactly like a top-level body
-//! (opcode + payload, no length prefix — every payload is self-delimiting)
-//! and may not nest another BATCH.
+//! (opcode + payload, no length prefix — every payload is self-delimiting),
+//! may not nest another BATCH, and are capped at [`MAX_BATCH_SUBS`] per
+//! group; the server additionally caps the aggregate scan results of one
+//! BATCH at [`MAX_BATCH_SCAN_TIDS`] (truncated scans return continuation
+//! tokens), so one frame can never demand more than a constant amount of
+//! work or response bytes.
 //!
 //! Response status codes:
 //!
@@ -63,6 +67,22 @@ pub const MAX_KEY: usize = hot_keys::MAX_KEY_LEN;
 /// OK_SCAN response still fits [`MAX_FRAME`] with room for the token.
 pub const MAX_SCAN_TIDS: usize = 100_000;
 
+/// Decode-time cap on the sub-requests of one BATCH. A 1 MiB frame can
+/// physically carry ~500k one-byte sub-requests, each of which may fan
+/// out into a [`MAX_SCAN_TIDS`]-sized scan — without this cap a single
+/// frame could demand gigabytes of results. The cap keeps the per-batch
+/// work (and, together with [`MAX_BATCH_SCAN_TIDS`], the OK_BATCH
+/// response) bounded by constants, not by what fits in the frame.
+pub const MAX_BATCH_SUBS: usize = 1024;
+
+/// Aggregate scan-result budget across all SCAN/RESUME sub-requests of
+/// one BATCH, sized so a batch response full of TIDs still fits
+/// [`MAX_FRAME`]: `100_000 × 8` bytes of TIDs plus [`MAX_BATCH_SUBS`]
+/// sub-response headers and tokens stays under 1 MiB. Scans truncated
+/// by the budget return a continuation token, so clients page through
+/// RESUME exactly as they do for [`MAX_SCAN_TIDS`]-clamped scans.
+pub const MAX_BATCH_SCAN_TIDS: usize = 100_000;
+
 /// Error codes carried by an ERR response.
 pub mod err_code {
     /// The request body could not be decoded.
@@ -71,6 +91,9 @@ pub mod err_code {
     pub const TID_MISMATCH: u8 = 2;
     /// The server is draining connections after a SHUTDOWN.
     pub const SHUTTING_DOWN: u8 = 3;
+    /// The response to a legal request would exceed [`super::MAX_FRAME`];
+    /// sent in its place (the request needs to be split up).
+    pub const RESPONSE_TOO_LARGE: u8 = 4;
 }
 
 const OP_GET: u8 = 0x01;
@@ -110,6 +133,8 @@ pub enum ProtoError {
     UnknownStatus(u8),
     /// A BATCH inside a BATCH.
     NestedBatch,
+    /// A BATCH with more than [`MAX_BATCH_SUBS`] sub-requests.
+    BatchTooLarge(usize),
     /// A key length above [`MAX_KEY`].
     KeyTooLong(usize),
     /// A text payload that was not UTF-8.
@@ -126,6 +151,9 @@ impl fmt::Display for ProtoError {
             ProtoError::UnknownOpcode(op) => write!(f, "unknown request opcode {op:#04x}"),
             ProtoError::UnknownStatus(st) => write!(f, "unknown response status {st:#04x}"),
             ProtoError::NestedBatch => write!(f, "BATCH nested inside BATCH"),
+            ProtoError::BatchTooLarge(n) => {
+                write!(f, "BATCH of {n} sub-requests exceeds MAX_BATCH_SUBS")
+            }
             ProtoError::KeyTooLong(n) => write!(f, "key of {n} bytes exceeds MAX_KEY"),
             ProtoError::BadText => write!(f, "text payload is not valid UTF-8"),
         }
@@ -275,7 +303,9 @@ fn put_key(out: &mut Vec<u8>, key: &[u8]) {
 }
 
 /// Reserve a frame's length slot, run `body`, then patch the slot with
-/// the encoded body length.
+/// the encoded body length. Requests only: every request a conforming
+/// client can construct fits [`MAX_FRAME`] by the key and batch caps,
+/// so an overrun here is a caller bug, not a wire condition.
 fn frame(out: &mut Vec<u8>, body: impl FnOnce(&mut Vec<u8>)) {
     let slot = out.len();
     out.extend_from_slice(&[0u8; 4]);
@@ -364,11 +394,14 @@ impl Request {
                 Ok(Request::Resume { token: ScanToken { shard, last_key }, limit })
             }
             OP_BATCH if allow_batch => {
-                let count = cur.u32("BATCH count")?;
-                // Each sub-request consumes at least its opcode byte, so a
-                // hostile count is caught by Truncated after at most
-                // `body.len()` iterations — no allocation up front.
-                let mut subs = Vec::with_capacity((count as usize).min(cur.body.len()));
+                let count = cur.u32("BATCH count")? as usize;
+                // Reject oversized groups before decoding (or allocating
+                // for) a single sub-request: a frame that passes this gate
+                // can demand at most MAX_BATCH_SUBS operations of work.
+                if count > MAX_BATCH_SUBS {
+                    return Err(ProtoError::BatchTooLarge(count));
+                }
+                let mut subs = Vec::with_capacity(count);
                 for _ in 0..count {
                     subs.push(Request::decode_body(cur, false)?);
                 }
@@ -385,8 +418,28 @@ impl Request {
 
 impl Response {
     /// Append this response as one complete frame (length prefix included).
+    ///
+    /// Never emits a frame over [`MAX_FRAME`]: a body that would exceed
+    /// the cap (which the peer's decoder would reject, poisoning the
+    /// connection — and whose u32 length prefix could even wrap) is
+    /// replaced in place by an [`err_code::RESPONSE_TOO_LARGE`] ERR
+    /// frame, so every encoded response is decodable by a conforming
+    /// peer.
     pub fn encode(&self, out: &mut Vec<u8>) {
-        frame(out, |out| self.encode_body(out));
+        let slot = out.len();
+        out.extend_from_slice(&[0u8; 4]);
+        self.encode_body(out);
+        let mut len = out.len() - slot - 4;
+        if len > MAX_FRAME {
+            out.truncate(slot + 4);
+            Response::Error {
+                code: err_code::RESPONSE_TOO_LARGE,
+                msg: format!("response of {len} bytes exceeds the {MAX_FRAME}-byte frame cap"),
+            }
+            .encode_body(out);
+            len = out.len() - slot - 4;
+        }
+        out[slot..slot + 4].copy_from_slice(&(len as u32).to_le_bytes());
     }
 
     fn encode_body(&self, out: &mut Vec<u8>) {
@@ -430,9 +483,17 @@ impl Response {
             Response::Error { code, msg } => {
                 out.push(ST_ERR);
                 out.push(*code);
-                let msg = &msg.as_bytes()[..msg.len().min(u16::MAX as usize)];
-                out.extend_from_slice(&(msg.len() as u16).to_le_bytes());
-                out.extend_from_slice(msg);
+                // The u16 length forces truncation of huge messages; back
+                // off to a char boundary so the peer never sees a split
+                // codepoint (which would decode as BadText, hiding the
+                // original error behind a protocol error).
+                let mut cut = msg.len().min(u16::MAX as usize);
+                while !msg.is_char_boundary(cut) {
+                    cut -= 1;
+                }
+                let bytes = &msg.as_bytes()[..cut];
+                out.extend_from_slice(&(bytes.len() as u16).to_le_bytes());
+                out.extend_from_slice(bytes);
             }
         }
     }
@@ -471,8 +532,13 @@ impl Response {
                 Ok(Response::Scan { tids, token })
             }
             ST_BATCH if allow_batch => {
-                let count = cur.u32("OK_BATCH count")?;
-                let mut subs = Vec::with_capacity((count as usize).min(cur.body.len()));
+                let count = cur.u32("OK_BATCH count")? as usize;
+                // Mirror the request-side cap: a conforming server never
+                // answers with more sub-responses than a BATCH may carry.
+                if count > MAX_BATCH_SUBS {
+                    return Err(ProtoError::BatchTooLarge(count));
+                }
+                let mut subs = Vec::with_capacity(count);
                 for _ in 0..count {
                     subs.push(Response::decode_body(cur, false)?);
                 }
@@ -651,5 +717,65 @@ mod tests {
         // A BATCH containing a BATCH.
         let nested = [OP_BATCH, 1, 0, 0, 0, OP_BATCH, 0, 0, 0, 0];
         assert_eq!(Request::decode(&nested), Err(ProtoError::NestedBatch));
+    }
+
+    #[test]
+    fn batch_sub_request_count_is_capped() {
+        let batch = |n: usize| {
+            let mut body = vec![OP_BATCH];
+            body.extend_from_slice(&(n as u32).to_le_bytes());
+            body.extend(std::iter::repeat(OP_PING).take(n.min(MAX_BATCH_SUBS)));
+            body
+        };
+        assert_eq!(
+            Request::decode(&batch(MAX_BATCH_SUBS)).unwrap(),
+            Request::Batch(vec![Request::Ping; MAX_BATCH_SUBS])
+        );
+        assert_eq!(
+            Request::decode(&batch(MAX_BATCH_SUBS + 1)),
+            Err(ProtoError::BatchTooLarge(MAX_BATCH_SUBS + 1))
+        );
+        // The response side mirrors the cap.
+        let mut body = vec![ST_BATCH];
+        body.extend_from_slice(&((MAX_BATCH_SUBS + 1) as u32).to_le_bytes());
+        assert_eq!(
+            Response::decode(&body),
+            Err(ProtoError::BatchTooLarge(MAX_BATCH_SUBS + 1))
+        );
+    }
+
+    #[test]
+    fn oversized_response_is_replaced_by_err_frame() {
+        let resp = Response::Scan { tids: vec![7; MAX_FRAME / 8 + 1], token: None };
+        let mut wire = Vec::new();
+        resp.encode(&mut wire);
+        assert!(wire.len() <= MAX_FRAME + 4, "frame must fit the decoder's cap");
+        let mut dec = FrameDecoder::new();
+        dec.feed(&wire);
+        let body = dec.next_frame().unwrap().expect("one complete frame");
+        match Response::decode(&body).unwrap() {
+            Response::Error { code, .. } => assert_eq!(code, err_code::RESPONSE_TOO_LARGE),
+            other => panic!("expected ERR replacement, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_message_truncates_on_char_boundary() {
+        // 2-byte codepoints put every char boundary at an even offset;
+        // the u16::MAX (odd) cut must back off one byte, not split 'é'.
+        let msg = "é".repeat(40_000); // 80_000 bytes
+        let mut wire = Vec::new();
+        Response::Error { code: err_code::BAD_FRAME, msg: msg.clone() }.encode(&mut wire);
+        let mut dec = FrameDecoder::new();
+        dec.feed(&wire);
+        let body = dec.next_frame().unwrap().expect("one complete frame");
+        match Response::decode(&body).expect("truncation must stay valid UTF-8") {
+            Response::Error { code, msg: got } => {
+                assert_eq!(code, err_code::BAD_FRAME);
+                assert_eq!(got.len(), u16::MAX as usize - 1);
+                assert!(msg.starts_with(&got));
+            }
+            other => panic!("expected ERR, got {other:?}"),
+        }
     }
 }

@@ -18,7 +18,9 @@
 //! SHUTDOWN frame or [`ServerHandle::shutdown`]) stops the acceptor, lets
 //! every connection finish its in-flight window, and joins all threads.
 
-use crate::protocol::{err_code, FrameDecoder, ProtoError, Request, Response, MAX_SCAN_TIDS};
+use crate::protocol::{
+    err_code, FrameDecoder, ProtoError, Request, Response, MAX_BATCH_SCAN_TIDS, MAX_SCAN_TIDS,
+};
 use crate::store::{net_data_for, NetData};
 use hot_core::{RouterScratch, ShardedHot};
 use hot_keys::ArenaKeySource;
@@ -307,7 +309,21 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
                 conn_shared.stats.closed.add(1);
             });
         match handle {
-            Ok(h) => shared.conns.lock().expect("conns lock").push(h),
+            Ok(h) => {
+                let mut conns = shared.conns.lock().expect("conns lock");
+                // Reap connections that already exited, so churn doesn't
+                // grow the handle list (and retain thread resources)
+                // without bound; shutdown joins whatever is left.
+                let mut i = 0;
+                while i < conns.len() {
+                    if conns[i].is_finished() {
+                        let _ = conns.swap_remove(i).join();
+                    } else {
+                        i += 1;
+                    }
+                }
+                conns.push(h);
+            }
             Err(_) => shared.stats.closed.add(1),
         }
     }
@@ -373,7 +389,12 @@ fn serve_conn(shared: &Arc<Shared>, mut stream: TcpStream) {
         // `window` requests plus one socket buffer are ever in flight.
         responses.clear();
         let shutdown = execute_window(shared, &window, &mut scratch, &mut responses);
-        shared.stats.requests.add(window.len() as u64);
+        // BATCH frames count as their sub-requests (added by exec_ops),
+        // not as a request of their own — `requests` is operations, so a
+        // batch of N records N, not N + 1.
+        let scalar_frames =
+            window.iter().filter(|r| !matches!(r, Request::Batch(_))).count();
+        shared.stats.requests.add(scalar_frames as u64);
         window.clear();
         wbuf.clear();
         for r in &responses {
@@ -415,8 +436,25 @@ fn execute_window(
     out: &mut Vec<Response>,
 ) -> bool {
     let mut shutdown = false;
-    exec_ops(shared, reqs, true, scratch, out, &mut shutdown);
+    // Top-level scans are each clamped to MAX_SCAN_TIDS and each get
+    // their own response frame, so they need no aggregate budget.
+    let mut scan_budget = usize::MAX;
+    exec_ops(shared, reqs, true, scratch, out, &mut shutdown, &mut scan_budget);
     shutdown
+}
+
+/// Clamp one scan's grant against its per-scan cap and the enclosing
+/// aggregate budget. Every non-empty request is granted at least one
+/// result even on an exhausted budget, so it can still make progress and
+/// mint a continuation token (an empty page reads as end-of-keyspace).
+fn grant_scan(limit: u32, scan_budget: &mut usize) -> usize {
+    let want = (limit as usize).min(MAX_SCAN_TIDS);
+    if want == 0 {
+        return 0;
+    }
+    let grant = want.min((*scan_budget).max(1));
+    *scan_budget = scan_budget.saturating_sub(grant);
+    grant
 }
 
 fn exec_ops(
@@ -426,6 +464,7 @@ fn exec_ops(
     scratch: &mut RouterScratch,
     out: &mut Vec<Response>,
     shutdown: &mut bool,
+    scan_budget: &mut usize,
 ) {
     let mut i = 0;
     while i < reqs.len() {
@@ -443,14 +482,27 @@ fn exec_ops(
                 while j < reqs.len() && matches!(reqs[j], Request::Scan { .. }) {
                     j += 1;
                 }
-                exec_scans(shared, &reqs[i..j], scratch, out);
+                exec_scans(shared, &reqs[i..j], scratch, out, scan_budget);
                 i = j;
             }
             Request::Batch(subs) => {
                 if allow_batch {
                     shared.stats.batches.add(1);
                     let mut sub_out = Vec::with_capacity(subs.len());
-                    exec_ops(shared, subs, false, scratch, &mut sub_out, shutdown);
+                    // A batch answers with ONE frame, so its scans share
+                    // an aggregate budget sized to keep the OK_BATCH
+                    // response within MAX_FRAME (truncated scans return
+                    // continuation tokens).
+                    let mut batch_budget = MAX_BATCH_SCAN_TIDS;
+                    exec_ops(
+                        shared,
+                        subs,
+                        false,
+                        scratch,
+                        &mut sub_out,
+                        shutdown,
+                        &mut batch_budget,
+                    );
                     shared.stats.requests.add(subs.len() as u64);
                     out.push(Response::Batch(sub_out));
                 } else {
@@ -463,7 +515,7 @@ fn exec_ops(
                 i += 1;
             }
             other => {
-                out.push(exec_scalar(shared, other, shutdown));
+                out.push(exec_scalar(shared, other, shutdown, scan_budget));
                 i += 1;
             }
         }
@@ -508,13 +560,14 @@ fn exec_scans(
     scans: &[Request],
     scratch: &mut RouterScratch,
     out: &mut Vec<Response>,
+    scan_budget: &mut usize,
 ) {
     let start = Instant::now();
     let requests: Vec<(&[u8], usize)> = scans
         .iter()
         .map(|r| match r {
             Request::Scan { start, limit } => {
-                (start.as_slice(), (*limit as usize).min(MAX_SCAN_TIDS))
+                (start.as_slice(), grant_scan(*limit, scan_budget))
             }
             _ => unreachable!("run contains only SCANs"),
         })
@@ -530,7 +583,12 @@ fn exec_scans(
     }
 }
 
-fn exec_scalar(shared: &Shared, req: &Request, shutdown: &mut bool) -> Response {
+fn exec_scalar(
+    shared: &Shared,
+    req: &Request,
+    shutdown: &mut bool,
+    scan_budget: &mut usize,
+) -> Response {
     let start = Instant::now();
     match req {
         Request::Put { tid, key } => {
@@ -563,7 +621,7 @@ fn exec_scalar(shared: &Shared, req: &Request, shutdown: &mut bool) -> Response 
         }
         Request::Resume { token, limit } => {
             let mut tids = Vec::new();
-            let limit = (*limit as usize).min(MAX_SCAN_TIDS);
+            let limit = grant_scan(*limit, scan_budget);
             let token = shared.index.scan_resume(token, limit, &mut tids);
             record_run(shared, OpKind::NetScan, start.elapsed(), 1);
             Response::Scan { tids, token }

@@ -9,7 +9,9 @@
 //! itself part of the property.
 
 use hot_core::ScanToken;
-use hot_server::protocol::{FrameDecoder, ProtoError, Request, Response, MAX_FRAME};
+use hot_server::protocol::{
+    err_code, FrameDecoder, ProtoError, Request, Response, MAX_BATCH_SUBS, MAX_FRAME,
+};
 use proptest::prelude::*;
 
 fn key() -> impl Strategy<Value = Vec<u8>> {
@@ -195,7 +197,33 @@ proptest! {
         body.extend_from_slice(&tail);
         // Either the tail happens to decode as `count` sub-requests (only
         // possible for tiny counts) or we get a typed error; both are
-        // fine, a panic or OOM is not.
-        let _ = Request::decode(&body);
+        // fine, a panic or OOM is not. Above the sub-request cap the
+        // error is pinned: rejected before any sub-request is decoded.
+        let got = Request::decode(&body);
+        if count as usize > MAX_BATCH_SUBS {
+            prop_assert_eq!(got, Err(ProtoError::BatchTooLarge(count as usize)));
+        }
+    }
+
+    /// No representable response encodes to a frame the decoder refuses:
+    /// an over-MAX_FRAME body is replaced by a typed ERR frame, so the
+    /// peer always sees a decodable response.
+    #[test]
+    fn encoded_responses_always_fit_max_frame(extra in 0usize..65536) {
+        let resp = Response::Scan {
+            tids: vec![0u64; MAX_FRAME / 8 + extra],
+            token: None,
+        };
+        let mut wire = Vec::new();
+        resp.encode(&mut wire);
+        let mut dec = FrameDecoder::new();
+        dec.feed(&wire);
+        let body = dec.next_frame().expect("within MAX_FRAME").expect("complete frame");
+        match Response::decode(&body).expect("decodable response") {
+            Response::Error { code, .. } => {
+                prop_assert_eq!(code, err_code::RESPONSE_TOO_LARGE);
+            }
+            other => prop_assert!(false, "expected ERR replacement, got {:?}", other),
+        }
     }
 }

@@ -228,6 +228,88 @@ fn garbage_frames_get_typed_errors() {
     handle.shutdown();
 }
 
+/// One hostile BATCH frame cannot balloon the server: sub-requests are
+/// capped at decode time, a batch's scans share an aggregate result
+/// budget (truncated scans stay resumable via tokens), the response
+/// frame fits MAX_FRAME, and the batch counts as its sub-requests in
+/// the stats — not one extra for the frame.
+#[test]
+fn hostile_batch_is_bounded() {
+    use hot_server::protocol::{err_code, MAX_BATCH_SCAN_TIDS, MAX_BATCH_SUBS};
+
+    let (handle, data) = test_server(Duration::from_secs(10));
+    let smallest = data.dataset.keys[..data.loaded]
+        .iter()
+        .min()
+        .expect("corpus is non-empty")
+        .clone();
+
+    // The worst legal batch: the maximum sub-count, every sub a scan
+    // asking for everything.
+    let mut conn = Raw::connect(&handle);
+    let before = handle.stats().requests();
+    conn.send_all(&[Request::Batch(vec![
+        Request::Scan { start: smallest, limit: u32::MAX };
+        MAX_BATCH_SUBS
+    ])]);
+    // Raw's FrameDecoder enforces MAX_FRAME, so receiving the response
+    // at all proves the frame stayed within the cap.
+    match conn.recv() {
+        Response::Batch(subs) => {
+            assert_eq!(subs.len(), MAX_BATCH_SUBS);
+            let mut total = 0usize;
+            for sub in &subs {
+                match sub {
+                    Response::Scan { tids, token } => {
+                        total += tids.len();
+                        // A budget-truncated page must stay resumable:
+                        // only a page that visibly ends the key space may
+                        // omit the continuation token.
+                        assert!(
+                            token.is_some() || tids.len() >= data.loaded,
+                            "truncated scan of {} TIDs lost its token",
+                            tids.len()
+                        );
+                    }
+                    other => panic!("SCAN answered with {other:?}"),
+                }
+            }
+            assert!(
+                total <= MAX_BATCH_SCAN_TIDS + MAX_BATCH_SUBS,
+                "aggregate scan budget exceeded: {total} TIDs"
+            );
+        }
+        other => panic!("BATCH answered with {other:?}"),
+    }
+    assert_eq!(
+        handle.stats().requests() - before,
+        MAX_BATCH_SUBS as u64,
+        "a batch of N counts as N requests, not N + 1"
+    );
+
+    // One past the cap: rejected at decode with a typed error, before any
+    // sub-request is executed.
+    let mut evil = Raw::connect(&handle);
+    let mut body = vec![0x05u8]; // OP_BATCH
+    body.extend_from_slice(&((MAX_BATCH_SUBS + 1) as u32).to_le_bytes());
+    body.extend(std::iter::repeat(0x07u8).take(MAX_BATCH_SUBS + 1)); // OP_PING
+    let mut frame = (body.len() as u32).to_le_bytes().to_vec();
+    frame.extend_from_slice(&body);
+    evil.stream.write_all(&frame).expect("frame accepted at the transport level");
+    match evil.try_recv() {
+        Some(Response::Error { code, msg }) => {
+            assert_eq!(code, err_code::BAD_FRAME);
+            assert!(msg.contains("BATCH"), "error names the violation: {msg}");
+        }
+        other => panic!("expected a typed ERR frame, got {other:?}"),
+    }
+    assert_eq!(evil.try_recv(), None, "connection closed after the violation");
+
+    let mut good = Raw::connect(&handle);
+    assert_eq!(get_all_checksum(&mut good, &data), expected_checksum(&data));
+    handle.shutdown();
+}
+
 /// The SHUTDOWN frame: acknowledged, then the whole server winds down and
 /// every thread joins (ServerHandle::join returns).
 #[test]
